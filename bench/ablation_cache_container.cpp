@@ -1,0 +1,69 @@
+// Ablation — container size and locality-cache size sensitivity of the
+// DDFS baseline (the substrate both the paper's problem and DeFrag's fix
+// live on).
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness.h"
+
+int main() {
+  using namespace defrag;
+  auto scale = bench::resolve_scale();
+  scale.single_user_generations =
+      std::min<std::uint32_t>(scale.single_user_generations, 10);
+  bench::print_header(
+      "Ablation — container size & metadata-cache size (DDFS-Like)",
+      "Bigger containers amortize seeks but amplify restore reads; a bigger "
+      "locality cache hides fragmentation until it no longer fits.",
+      scale);
+
+  std::printf("-- container size sweep (metadata cache fixed at 16) --\n");
+  Table tc({"container_MiB", "tail_tput_MB_s", "restore_MB_s",
+            "restore_loads"});
+  for (std::uint64_t mib : {1ull, 2ull, 4ull, 8ull}) {
+    const auto run = bench::run_single_user(
+        EngineKind::kDdfs, scale, /*restore_all=*/true,
+        [&](EngineConfig& cfg) { cfg.container_bytes = mib << 20; });
+    double tail = 0.0;
+    const std::size_t half = run.backups.size() / 2;
+    for (std::size_t i = half; i < run.backups.size(); ++i) {
+      tail += run.backups[i].throughput_mb_s();
+    }
+    tail /= static_cast<double>(run.backups.size() - half);
+    tc.add_row({Table::integer(static_cast<long long>(mib)),
+                Table::num(tail, 1),
+                Table::num(run.restores.back().read_mb_s(), 1),
+                Table::integer(static_cast<long long>(
+                    run.restores.back().container_loads))});
+  }
+  tc.print();
+
+  std::printf("\n-- metadata cache sweep (container fixed at 4 MiB) --\n");
+  Table tm({"cache_containers", "tail_tput_MB_s", "total_seeks"});
+  double tiny_cache_tput = 0.0, big_cache_tput = 0.0;
+  for (std::size_t slots : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull}) {
+    const auto run = bench::run_single_user(
+        EngineKind::kDdfs, scale, /*restore_all=*/false,
+        [&](EngineConfig& cfg) { cfg.metadata_cache_containers = slots; });
+    double tail = 0.0;
+    std::uint64_t seeks = 0;
+    const std::size_t half = run.backups.size() / 2;
+    for (std::size_t i = half; i < run.backups.size(); ++i) {
+      tail += run.backups[i].throughput_mb_s();
+    }
+    for (const auto& b : run.backups) seeks += b.io.seeks;
+    tail /= static_cast<double>(run.backups.size() - half);
+    tm.add_row({Table::integer(static_cast<long long>(slots)),
+                Table::num(tail, 1),
+                Table::integer(static_cast<long long>(seeks))});
+    if (slots == 2) tiny_cache_tput = tail;
+    if (slots == 64) big_cache_tput = tail;
+  }
+  tm.print();
+  std::printf("\n");
+
+  bench::check_shape("larger locality cache lifts steady-state throughput",
+                     big_cache_tput > tiny_cache_tput, big_cache_tput,
+                     tiny_cache_tput);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation — redundancy beyond dedup's reach: how much of the post-dedup
+// "unique" data is actually a near-duplicate of an older chunk, capturable
+// by resemblance detection + delta encoding (the Ddelta/DEC motivation).
+//
+// Method: chunk two adjacent generations; index generation 1's chunks in a
+// ResemblanceIndex; for every generation-2 chunk that exact dedup would
+// store (fingerprint unseen), look up a delta base and measure the encoded
+// size against storing it raw.
+#include <cstdio>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chunking/gear.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "compress/delta.h"
+#include "harness.h"
+#include "index/features.h"
+#include "workload/backup_series.h"
+
+int main() {
+  using namespace defrag;
+  const auto scale = bench::resolve_scale();
+  bench::print_header(
+      "Ablation — delta-encoding potential of post-dedup unique data",
+      "Exact dedup only removes identical chunks; edited chunks are stored "
+      "in full. Resemblance + delta capture part of that residue.",
+      scale);
+
+  workload::SingleUserSeries series(scale.seed, scale.fs);
+  const workload::Backup gen1 = series.next();
+  const workload::Backup gen2 = series.next();
+
+  GearChunker chunker;
+  const auto refs1 = chunker.split(gen1.stream);
+  const auto refs2 = chunker.split(gen2.stream);
+
+  // Index generation 1: exact fingerprints + resemblance features.
+  std::unordered_set<Fingerprint> seen;
+  std::unordered_map<Fingerprint, ChunkRef> by_fp;
+  ResemblanceIndex resemblance;
+  for (const ChunkRef& r : refs1) {
+    const ByteView data{gen1.stream.data() + r.offset, r.size};
+    const Fingerprint fp = Fingerprint::of(data);
+    if (seen.insert(fp).second) {
+      by_fp.emplace(fp, r);
+      resemblance.add(compute_features(data), fp);
+    }
+  }
+
+  std::uint64_t dup_bytes = 0;      // removed by exact dedup
+  std::uint64_t unique_bytes = 0;   // stored raw by exact dedup
+  std::uint64_t delta_candidates = 0;
+  std::uint64_t delta_raw_bytes = 0;      // candidate bytes before delta
+  std::uint64_t delta_encoded_bytes = 0;  // after delta
+
+  for (const ChunkRef& r : refs2) {
+    const ByteView data{gen2.stream.data() + r.offset, r.size};
+    const Fingerprint fp = Fingerprint::of(data);
+    if (seen.contains(fp)) {
+      dup_bytes += r.size;
+      continue;
+    }
+    unique_bytes += r.size;
+    const auto base_fp = resemblance.find_base(compute_features(data));
+    if (!base_fp) continue;
+    const ChunkRef base_ref = by_fp.at(*base_fp);
+    const ByteView base{gen1.stream.data() + base_ref.offset, base_ref.size};
+    const Bytes delta = Delta::encode(base, data);
+    if (delta.size() < r.size / 2) {  // only count deltas that pay
+      ++delta_candidates;
+      delta_raw_bytes += r.size;
+      delta_encoded_bytes += delta.size();
+    }
+  }
+
+  Table t({"metric", "value"});
+  t.add_row({"gen-2 duplicate bytes (dedup removes)", format_bytes(dup_bytes)});
+  t.add_row({"gen-2 unique bytes (dedup stores raw)", format_bytes(unique_bytes)});
+  t.add_row({"delta-encodable chunks", Table::integer(static_cast<long long>(delta_candidates))});
+  t.add_row({"...their raw size", format_bytes(delta_raw_bytes)});
+  t.add_row({"...their delta size", format_bytes(delta_encoded_bytes)});
+  const double captured =
+      unique_bytes == 0
+          ? 0.0
+          : static_cast<double>(delta_raw_bytes - delta_encoded_bytes) /
+                static_cast<double>(unique_bytes);
+  t.add_row({"extra saving over exact dedup", Table::num(captured * 100, 1) + "%"});
+  t.print();
+  std::printf("\n");
+
+  bench::check_shape("delta captures a meaningful slice of unique bytes",
+                     captured > 0.05, captured * 100, 5.0);
+  bench::check_shape("deltas that pay compress their chunks well",
+                     delta_raw_bytes == 0 ||
+                         delta_encoded_bytes < delta_raw_bytes / 2,
+                     static_cast<double>(delta_encoded_bytes),
+                     static_cast<double>(delta_raw_bytes));
+  return 0;
+}

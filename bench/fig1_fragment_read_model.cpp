@@ -1,0 +1,46 @@
+// Fig. 1 / Eq. (1): the analytic cost of reading an N-fragment file.
+// The paper's motivating arithmetic — read time grows linearly in the
+// number of fragments while the transfer term stays constant.
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "harness.h"
+#include "storage/disk_model.h"
+
+int main() {
+  using namespace defrag;
+  const auto scale = bench::resolve_scale();
+  bench::print_header(
+      "Fig. 1 / Eq. (1) — fragmented read model",
+      "F(read) = N * T_seek + size / W_seq: reading an N-fragment file "
+      "costs N seeks; deduplicated files approach one seek per chunk.",
+      scale);
+
+  const DiskModel disk = bench::paper_engine_config().disk;
+  const std::uint64_t file_bytes = 64ull << 20;  // a 64 MiB file
+
+  Table t({"fragments", "read_time_s", "read_MB_s", "seek_share_%"});
+  double t1 = 0.0, t256 = 0.0;
+  for (std::uint64_t n : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull,
+                          256ull, 512ull, 1024ull}) {
+    const double secs = fragmented_read_seconds(disk, n, file_bytes);
+    const double seek_share =
+        static_cast<double>(n) * disk.seek_seconds / secs * 100.0;
+    t.add_row({Table::integer(static_cast<long long>(n)),
+               Table::num(secs, 3), Table::num(mb_per_sec(file_bytes, secs), 1),
+               Table::num(seek_share, 1)});
+    if (n == 1) t1 = secs;
+    if (n == 256) t256 = secs;
+  }
+  t.print();
+  std::printf("\n");
+
+  // Paper §II-A: ignoring the common transfer term, the N-fragment file is
+  // N times slower: (F_N - transfer) == N * (F_1 - transfer).
+  const double transfer = disk.read_seconds(file_bytes);
+  bench::check_shape("seek cost scales linearly in fragments (x256)",
+                     std::abs((t256 - transfer) / (t1 - transfer) - 256.0) < 1e-6,
+                     (t256 - transfer) / (t1 - transfer), 256.0);
+  return 0;
+}

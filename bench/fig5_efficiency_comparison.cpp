@@ -1,0 +1,63 @@
+// Fig. 5 — deduplication efficiency of DeFrag vs SiLo-Like over the
+// 66-backup five-user dataset.
+//
+// Paper shape: both keep some redundant data (efficiency < 1), but by
+// generation 66 SiLo has ~12% of redundant data not removed while DeFrag
+// has only ~4% — DeFrag pays far less compression for comparable
+// throughput.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness.h"
+
+int main() {
+  using namespace defrag;
+  const auto scale = bench::resolve_scale();
+  bench::print_header(
+      "Fig. 5 — deduplication efficiency comparison (66 backups, 5 users)",
+      "Redundant data kept: SiLo misses duplicates in unprobed blocks; "
+      "DeFrag deliberately rewrites low-SPL duplicates. DeFrag keeps less.",
+      scale);
+
+  const auto silo = bench::run_multi_user(EngineKind::kSilo, scale);
+  const auto defrag = bench::run_multi_user(EngineKind::kDefrag, scale);
+
+  // Cumulative "redundant data not removed" fraction, as the paper reports
+  // at generation 66 (12% SiLo vs 4% DeFrag).
+  Table t({"generation", "DeFrag_eff", "SiLo_eff", "DeFrag_kept_%",
+           "SiLo_kept_%"});
+  std::uint64_t d_kept = 0, s_kept = 0, redundant = 0;
+  const std::size_t n = defrag.backups.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& d = defrag.backups[i];
+    const auto& s = silo.backups[i];
+    d_kept += d.rewritten_bytes + d.missed_dup_bytes;
+    s_kept += s.missed_dup_bytes;
+    redundant += d.redundant_bytes;
+    const double d_pct =
+        redundant ? 100.0 * static_cast<double>(d_kept) / static_cast<double>(redundant) : 0.0;
+    const double s_pct =
+        redundant ? 100.0 * static_cast<double>(s_kept) / static_cast<double>(redundant) : 0.0;
+    t.add_row({Table::integer(d.generation), Table::num(d.dedup_efficiency(), 4),
+               Table::num(s.dedup_efficiency(), 4), Table::num(d_pct, 2),
+               Table::num(s_pct, 2)});
+  }
+  t.print();
+  std::printf("\n");
+
+  const double d_final =
+      redundant ? static_cast<double>(d_kept) / static_cast<double>(redundant) : 0.0;
+  const double s_final =
+      redundant ? static_cast<double>(s_kept) / static_cast<double>(redundant) : 0.0;
+
+  bench::check_shape("DeFrag keeps less redundant data than SiLo",
+                     d_final < s_final, d_final * 100, s_final * 100);
+  bench::check_shape("both keep a nonzero share (near-exact by design)",
+                     d_final > 0.0 && s_final > 0.0, d_final * 100,
+                     s_final * 100);
+  std::printf(
+      "paper anchor at final generation: SiLo ~12%% kept, DeFrag ~4%% kept; "
+      "measured: SiLo %.1f%%, DeFrag %.1f%%\n",
+      s_final * 100, d_final * 100);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each fig*_ binary reproduces one figure of the paper: it generates the
+// corresponding synthetic dataset, drives one or more engines through it,
+// and prints the figure's series as an aligned table plus a shape summary
+// (the paper-vs-measured comparison recorded in EXPERIMENTS.md).
+//
+// Scale: DEFRAG_BENCH_SCALE=tiny shrinks the datasets ~4x for smoke runs;
+// the default ("paper") uses the full generation counts of the paper (20
+// single-user, 66 multi-user) at laptop-sized backups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dedup_system.h"
+#include "workload/backup_series.h"
+
+namespace defrag::bench {
+
+struct Scale {
+  std::uint32_t single_user_generations = 20;  // Figs. 2, 3, 6
+  std::uint32_t multi_user_generations = 66;   // Figs. 4, 5
+  workload::FsParams fs;
+  std::uint64_t seed = 20120701;  // fixed: all figures share the dataset
+};
+
+/// Resolve the scale from DEFRAG_BENCH_SCALE ("paper" default, "tiny").
+Scale resolve_scale();
+
+/// The engine configuration used by every figure bench: parameters anchored
+/// to the paper's era (see DESIGN.md "Substitutions").
+EngineConfig paper_engine_config();
+
+/// One engine's full pass over a backup series.
+struct SeriesRun {
+  EngineKind kind;
+  std::vector<BackupResult> backups;
+  std::vector<RestoreResult> restores;  // filled only if restore_all
+  double compression_ratio = 0.0;
+};
+
+/// Drive `kind` through `generations` backups of a fresh series (single- or
+/// multi-user). `mutate_cfg` may tweak the engine config (alpha sweeps etc).
+SeriesRun run_single_user(
+    EngineKind kind, const Scale& scale, bool restore_all = false,
+    const std::function<void(EngineConfig&)>& mutate_cfg = {});
+SeriesRun run_multi_user(
+    EngineKind kind, const Scale& scale,
+    const std::function<void(EngineConfig&)>& mutate_cfg = {});
+
+/// Print the standard bench header (binary name, scale, dataset size).
+void print_header(const std::string& figure, const std::string& claim,
+                  const Scale& scale);
+
+/// Shape assertion helper: prints PASS/FAIL with the two numbers.
+void check_shape(const std::string& what, bool ok, double lhs, double rhs);
+
+}  // namespace defrag::bench

@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark): chunking algorithms, fingerprinting,
+// and the parallel preparation pipeline. These measure real wall-clock cost
+// of the substrate, independent of the simulated-disk experiments.
+#include <benchmark/benchmark.h>
+
+#include "chunking/fixed.h"
+#include "chunking/gear.h"
+#include "chunking/rabin.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "common/sha256.h"
+#include "compress/lzss.h"
+#include "dedup/pipeline.h"
+#include "workload/content.h"
+
+namespace defrag {
+namespace {
+
+Bytes bench_data(std::size_t n) {
+  Bytes b(n);
+  Xoshiro256 rng(42);
+  rng.fill(b);
+  return b;
+}
+
+void BM_RabinChunking(benchmark::State& state) {
+  const Bytes data = bench_data(8 << 20);
+  RabinChunker chunker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.split(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RabinChunking)->Unit(benchmark::kMillisecond);
+
+void BM_GearChunking(benchmark::State& state) {
+  const Bytes data = bench_data(8 << 20);
+  GearChunker chunker({}, state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.split(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(state.range(0) ? "normalized" : "plain");
+}
+BENCHMARK(BM_GearChunking)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FixedChunking(benchmark::State& state) {
+  const Bytes data = bench_data(8 << 20);
+  FixedChunker chunker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.split(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_FixedChunking)->Unit(benchmark::kMillisecond);
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data = bench_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = bench_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(8192)->Arg(1 << 20);
+
+void BM_LzssCompress(benchmark::State& state) {
+  // range(0): 0 = incompressible noise, 1 = LZ-friendly text extents.
+  const bool text = state.range(0) != 0;
+  Bytes data;
+  if (text) {
+    data = workload::materialize(std::vector<workload::Extent>{
+        workload::Extent{9, 4u << 20, workload::ExtentKind::kText}});
+  } else {
+    data = bench_data(4 << 20);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lzss::compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(text ? "text" : "noise");
+}
+BENCHMARK(BM_LzssCompress)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_LzssDecompress(benchmark::State& state) {
+  const Bytes data = workload::materialize(std::vector<workload::Extent>{
+      workload::Extent{10, 4u << 20, workload::ExtentKind::kText}});
+  const Bytes packed = Lzss::compress(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lzss::decompress(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_LzssDecompress)->Unit(benchmark::kMillisecond);
+
+void BM_PipelinePrepare(benchmark::State& state) {
+  const Bytes data = bench_data(8 << 20);
+  GearChunker chunker;
+  StreamPipeline pipeline(chunker, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(std::to_string(state.range(0)) + " workers");
+}
+BENCHMARK(BM_PipelinePrepare)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace defrag
+
+BENCHMARK_MAIN();

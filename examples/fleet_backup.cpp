@@ -1,0 +1,59 @@
+// Fleet scenario: five users back up into one shared dedup store (the
+// paper's 66-backup dataset shape). Shows cross-user sharing, per-user
+// throughput, and how the three engines compare on the same fleet.
+//
+//   $ ./fleet_backup [backups]   (default 20)
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/dedup_system.h"
+#include "workload/backup_series.h"
+
+int main(int argc, char** argv) {
+  using namespace defrag;
+  const std::uint32_t backups =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 20;
+
+  std::printf("Five-user fleet, %u backups round-robin, five engines...\n\n",
+              backups);
+
+  Table t({"engine", "compression_x", "mean_tput_MB_s", "min_tput_MB_s",
+           "kept_redundant_%", "physical"});
+  for (EngineKind kind :
+       {EngineKind::kDdfs, EngineKind::kSparse, EngineKind::kSilo,
+        EngineKind::kCbr, EngineKind::kDefrag}) {
+    workload::FsParams fs;
+    fs.initial_files = 24;
+    fs.mean_file_bytes = 128 * 1024;
+    workload::MultiUserSeries series(/*seed=*/1234, fs);
+
+    DedupSystem sys(kind, EngineConfig{});
+    double sum_tput = 0.0, min_tput = 1e18;
+    std::uint64_t kept = 0, redundant = 0;
+    for (std::uint32_t i = 0; i < backups; ++i) {
+      const workload::Backup b = series.next();
+      const BackupResult r = sys.ingest_as(b.generation, b.stream);
+      sum_tput += r.throughput_mb_s();
+      min_tput = std::min(min_tput, r.throughput_mb_s());
+      kept += r.rewritten_bytes + r.missed_dup_bytes;
+      redundant += r.redundant_bytes;
+    }
+    const double kept_pct =
+        redundant ? 100.0 * static_cast<double>(kept) / static_cast<double>(redundant)
+                  : 0.0;
+    t.add_row({sys.engine().name(), Table::num(sys.compression_ratio(), 2),
+               Table::num(sum_tput / backups, 1), Table::num(min_tput, 1),
+               Table::num(kept_pct, 2),
+               format_bytes(sys.stored_bytes())});
+  }
+  t.print();
+
+  std::printf(
+      "\nDDFS keeps nothing redundant but pays in seeks; Sparse-Indexing and\n"
+      "SiLo keep what their probes miss; CBR and DeFrag keep only what they\n"
+      "deliberately rewrite for locality. Same workload, same chunker — the\n"
+      "columns are the paper's whole argument in one table.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: deduplicate three backups of an evolving file system with
+// DeFrag, then restore and verify the latest one.
+//
+//   $ ./quickstart
+//
+// Walks the whole public API surface in ~40 lines: DedupSystem, the
+// workload generator, per-backup metrics, and integrity-checked restore.
+#include <cstdio>
+
+#include "common/sha256.h"
+#include "common/units.h"
+#include "core/dedup_system.h"
+#include "workload/backup_series.h"
+
+int main() {
+  using namespace defrag;
+
+  // A synthetic "user home directory" that evolves between backups.
+  workload::FsParams fs;
+  fs.initial_files = 32;
+  fs.mean_file_bytes = 256 * 1024;
+  workload::SingleUserSeries series(/*seed=*/7, fs);
+
+  // DeFrag with the paper's alpha = 0.1. Swap EngineKind::kDdfs or kSilo to
+  // compare baselines — the API is identical.
+  EngineConfig cfg;
+  cfg.defrag_alpha = 0.1;
+  DedupSystem sys(EngineKind::kDefrag, cfg);
+
+  Bytes latest;
+  for (int i = 0; i < 3; ++i) {
+    const workload::Backup b = series.next();
+    latest = b.stream;
+    const BackupResult r = sys.ingest_as(b.generation, b.stream);
+    std::printf(
+        "backup %u: %s ingested, %s unique, %s deduped, %s rewritten "
+        "-> %.1f MB/s simulated\n",
+        r.generation, format_bytes(r.logical_bytes).c_str(),
+        format_bytes(r.unique_bytes).c_str(),
+        format_bytes(r.removed_bytes).c_str(),
+        format_bytes(r.rewritten_bytes).c_str(), r.throughput_mb_s());
+  }
+
+  std::printf("\nstore: %s physical for %s logical (%.2fx compression)\n",
+              format_bytes(sys.stored_bytes()).c_str(),
+              format_bytes(sys.logical_bytes_ingested()).c_str(),
+              sys.compression_ratio());
+
+  RestoreResult rr;
+  const Bytes restored = sys.restore_bytes(3, &rr);
+  const bool ok = Sha256::hash(restored) == Sha256::hash(latest);
+  std::printf("restore of backup 3: %s at %.1f MB/s (%llu container loads) — %s\n",
+              format_bytes(rr.logical_bytes).c_str(), rr.read_mb_s(),
+              static_cast<unsigned long long>(rr.container_loads),
+              ok ? "verified bit-for-bit" : "CORRUPT");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "chunking/chunker.h"
+
+#include "chunking/fixed.h"
+#include "chunking/gear.h"
+#include "chunking/rabin.h"
+#include "common/check.h"
+
+#include <bit>
+
+namespace defrag {
+
+void ChunkerParams::validate() const {
+  DEFRAG_CHECK_MSG(min_size > 0 && min_size <= avg_size && avg_size <= max_size,
+                   "ChunkerParams must satisfy 0 < min <= avg <= max");
+  DEFRAG_CHECK_MSG(std::has_single_bit(avg_size),
+                   "avg_size must be a power of two");
+}
+
+std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,
+                                      const ChunkerParams& params) {
+  switch (kind) {
+    case ChunkerKind::kRabin:
+      return std::make_unique<RabinChunker>(params);
+    case ChunkerKind::kGear:
+      return std::make_unique<GearChunker>(params);
+    case ChunkerKind::kFixed:
+      return std::make_unique<FixedChunker>(params);
+  }
+  DEFRAG_CHECK_MSG(false, "unknown ChunkerKind");
+  return nullptr;
+}
+
+}  // namespace defrag

@@ -1,0 +1,54 @@
+// Chunker interface: splits a byte stream into variable-size chunks.
+//
+// All deduplication engines in this repository consume the same chunk
+// sequence for a given (chunker, data) pair, so baseline comparisons are
+// apples-to-apples: the only thing that differs between DDFS-Like, SiLo-Like
+// and DeFrag is what they do with the chunks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace defrag {
+
+/// A chunk boundary within a source buffer: [offset, offset + size).
+struct ChunkRef {
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+
+  friend bool operator==(const ChunkRef&, const ChunkRef&) = default;
+};
+
+/// Bounds every content-defined chunker must respect. Defaults follow the
+/// classic backup-dedup configuration: 8 KiB average, 2 KiB min, 64 KiB max.
+struct ChunkerParams {
+  std::uint32_t min_size = 2 * 1024;
+  std::uint32_t avg_size = 8 * 1024;
+  std::uint32_t max_size = 64 * 1024;
+
+  void validate() const;
+};
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Split `data` into contiguous chunks covering the whole buffer.
+  /// Deterministic: equal input always yields equal boundaries.
+  virtual std::vector<ChunkRef> split(ByteView data) const = 0;
+
+  /// Human-readable algorithm name ("rabin", "gear", "fixed").
+  virtual std::string name() const = 0;
+};
+
+/// Factory for the chunkers this library ships.
+enum class ChunkerKind { kRabin, kGear, kFixed };
+
+std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,
+                                      const ChunkerParams& params = {});
+
+}  // namespace defrag

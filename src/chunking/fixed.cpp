@@ -1,0 +1,25 @@
+#include "chunking/fixed.h"
+
+#include "common/check.h"
+
+namespace defrag {
+
+FixedChunker::FixedChunker(const ChunkerParams& params)
+    : size_(params.avg_size) {
+  DEFRAG_CHECK(size_ > 0);
+}
+
+std::vector<ChunkRef> FixedChunker::split(ByteView data) const {
+  std::vector<ChunkRef> out;
+  out.reserve(data.size() / size_ + 1);
+  std::uint64_t off = 0;
+  while (off < data.size()) {
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(size_, data.size() - off));
+    out.push_back(ChunkRef{off, len});
+    off += len;
+  }
+  return out;
+}
+
+}  // namespace defrag

@@ -1,0 +1,21 @@
+// Fixed-size chunking: the trivial baseline. Shifts destroy alignment, so
+// dedup ratios collapse under insert/delete edits — kept for comparison
+// benches and as the simplest possible Chunker implementation.
+#pragma once
+
+#include "chunking/chunker.h"
+
+namespace defrag {
+
+class FixedChunker final : public Chunker {
+ public:
+  explicit FixedChunker(const ChunkerParams& params = {});
+
+  std::vector<ChunkRef> split(ByteView data) const override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::uint32_t size_;
+};
+
+}  // namespace defrag

@@ -1,0 +1,106 @@
+#include "chunking/gear.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace defrag {
+
+namespace {
+/// Spread `bits` mask bits over the upper half of the word. Gear's rolling
+/// window is implicit (each byte survives 64 shifts), and only the high bits
+/// mix contributions from many bytes, so the boundary test must use them.
+std::uint64_t spread_mask(int bits) {
+  DEFRAG_CHECK(bits >= 1 && bits <= 48);
+  std::uint64_t m = 0;
+  // Place the bits at positions 63, 61, 59, ... so they stay in the
+  // well-mixed region while remaining deterministic and platform-independent.
+  int placed = 0;
+  for (int pos = 63; placed < bits; pos -= (pos > 40 ? 2 : 1), ++placed) {
+    m |= 1ull << pos;
+  }
+  return m;
+}
+}  // namespace
+
+const std::array<std::uint64_t, 256>& GearChunker::table() {
+  static const std::array<std::uint64_t, 256> t = [] {
+    std::array<std::uint64_t, 256> out{};
+    SplitMix64 sm(0x6765617274616231ull);  // "gear tab1", fixed forever
+    for (auto& v : out) v = sm.next();
+    return out;
+  }();
+  return t;
+}
+
+GearChunker::GearChunker(const ChunkerParams& params, bool normalized)
+    : params_(params), normalized_(normalized) {
+  params_.validate();
+  const int avg_bits = std::countr_zero(params_.avg_size);
+  mask_avg_ = spread_mask(avg_bits);
+  // FastCDC level-2 normalization: +2 bits before the average point, -2 after.
+  mask_strict_ = spread_mask(std::min(avg_bits + 2, 48));
+  mask_loose_ = spread_mask(std::max(avg_bits - 2, 1));
+  (void)table();
+}
+
+std::vector<ChunkRef> GearChunker::split(ByteView data) const {
+  const auto& gear = table();
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.avg_size + 1);
+
+  const std::size_t n = data.size();
+  std::size_t chunk_start = 0;
+
+  while (chunk_start < n) {
+    const std::size_t hard_end = std::min(n, chunk_start + params_.max_size);
+    const std::size_t min_end =
+        std::min(hard_end, chunk_start + params_.min_size);
+    const std::size_t avg_end =
+        std::min(hard_end, chunk_start + params_.avg_size);
+
+    std::size_t boundary = hard_end;
+    std::uint64_t h = 0;
+
+    // Bytes before min_end can never be a boundary but must feed the hash so
+    // the boundary decision depends on a full window of context.
+    std::size_t pos = (min_end > chunk_start + 64) ? min_end - 64 : chunk_start;
+    for (; pos < min_end; ++pos) h = (h << 1) + gear[data[pos]];
+
+    if (normalized_) {
+      for (; pos < avg_end; ++pos) {
+        h = (h << 1) + gear[data[pos]];
+        if ((h & mask_strict_) == 0) {
+          boundary = pos + 1;
+          break;
+        }
+      }
+      if (boundary == hard_end) {
+        for (; pos < hard_end; ++pos) {
+          h = (h << 1) + gear[data[pos]];
+          if ((h & mask_loose_) == 0) {
+            boundary = pos + 1;
+            break;
+          }
+        }
+      }
+    } else {
+      for (; pos < hard_end; ++pos) {
+        h = (h << 1) + gear[data[pos]];
+        if ((h & mask_avg_) == 0) {
+          boundary = pos + 1;
+          break;
+        }
+      }
+    }
+
+    out.push_back(ChunkRef{chunk_start,
+                           static_cast<std::uint32_t>(boundary - chunk_start)});
+    chunk_start = boundary;
+  }
+  return out;
+}
+
+}  // namespace defrag

@@ -1,0 +1,120 @@
+#include "chunking/rabin.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace defrag {
+
+namespace rabin_detail {
+
+std::uint64_t poly_mod_shift(std::uint64_t a, int shift) {
+  // r := a * x^shift mod kPoly, one bit of shift at a time. Only runs at
+  // table-construction time, so clarity over speed.
+  std::uint64_t r = a;
+  for (int i = 0; i < shift; ++i) {
+    r <<= 1;
+    if (r & (1ull << kDegree)) r ^= kPoly;
+  }
+  return r;
+}
+
+const Tables& tables() {
+  static const Tables t = [] {
+    Tables out{};
+    for (int b = 0; b < 256; ++b) {
+      // Reduction of the 8 bits that overflow past kDegree when the
+      // fingerprint is multiplied by x^8.
+      out.shift[static_cast<std::size_t>(b)] =
+          poly_mod_shift(static_cast<std::uint64_t>(b), kDegree);
+      // Contribution of a byte leaving a kWindowSize-byte window.
+      out.pop[static_cast<std::size_t>(b)] = poly_mod_shift(
+          static_cast<std::uint64_t>(b), 8 * static_cast<int>(RabinChunker::kWindowSize));
+    }
+    return out;
+  }();
+  return t;
+}
+
+namespace {
+constexpr std::uint64_t kFpMask = (1ull << kDegree) - 1;
+
+/// Append one byte to the fingerprint: fp := (fp * x^8 + b) mod kPoly.
+inline std::uint64_t append_byte(const Tables& t, std::uint64_t fp,
+                                 std::uint8_t b) {
+  const std::uint64_t hi = fp >> (kDegree - 8);
+  return (((fp << 8) & kFpMask) | b) ^ t.shift[hi];
+}
+}  // namespace
+
+}  // namespace rabin_detail
+
+RabinChunker::RabinChunker(const ChunkerParams& params) : params_(params) {
+  params_.validate();
+  boundary_mask_ = params_.avg_size - 1;
+  // Warm the tables eagerly so split() is never the first caller under
+  // concurrency (function-local static init is thread-safe, but eager build
+  // keeps the first benchmark iteration honest).
+  (void)rabin_detail::tables();
+}
+
+std::uint64_t RabinChunker::slow_fingerprint(ByteView window) {
+  std::uint64_t fp = 0;
+  for (std::uint8_t b : window) {
+    fp = rabin_detail::poly_mod_shift(fp, 8) ^ b;
+  }
+  return fp;
+}
+
+std::vector<ChunkRef> RabinChunker::split(ByteView data) const {
+  const auto& t = rabin_detail::tables();
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.avg_size + 1);
+
+  const std::size_t n = data.size();
+  std::size_t chunk_start = 0;
+
+  while (chunk_start < n) {
+    const std::size_t hard_end = std::min(n, chunk_start + params_.max_size);
+    const std::size_t min_end = chunk_start + params_.min_size;
+
+    std::size_t boundary = hard_end;
+    if (min_end < hard_end) {
+      // Fingerprinting only needs to be warm by the time a boundary may be
+      // declared, so start the window kWindowSize bytes before min_end.
+      std::size_t pos = (min_end > chunk_start + kWindowSize)
+                            ? min_end - kWindowSize
+                            : chunk_start;
+      std::uint64_t fp = 0;
+      std::uint8_t window[kWindowSize] = {};
+      std::size_t w = 0;        // ring index
+      std::size_t filled = 0;   // bytes currently in the window
+
+      for (; pos < hard_end; ++pos) {
+        const std::uint8_t in = data[pos];
+        if (filled == kWindowSize) {
+          fp = rabin_detail::append_byte(t, fp, in) ^ t.pop[window[w]];
+        } else {
+          fp = rabin_detail::append_byte(t, fp, in);
+          ++filled;
+        }
+        window[w] = in;
+        w = (w + 1) % kWindowSize;
+
+        if (pos + 1 >= min_end && filled == kWindowSize &&
+            (fp & boundary_mask_) == boundary_mask_) {
+          boundary = pos + 1;
+          break;
+        }
+      }
+    }
+
+    out.push_back(ChunkRef{chunk_start,
+                           static_cast<std::uint32_t>(boundary - chunk_start)});
+    chunk_start = boundary;
+  }
+  return out;
+}
+
+}  // namespace defrag

@@ -1,0 +1,45 @@
+#include "chunking/segmenter.h"
+
+#include "common/check.h"
+
+namespace defrag {
+
+void SegmenterParams::validate() const {
+  DEFRAG_CHECK_MSG(
+      min_bytes > 0 && min_bytes <= target_bytes && target_bytes <= max_bytes,
+      "SegmenterParams must satisfy 0 < min <= target <= max");
+}
+
+Segmenter::Segmenter(const SegmenterParams& params) : params_(params) {
+  params_.validate();
+  // A boundary test succeeding with probability avg_chunk/target gives an
+  // expected segment of ~target bytes past the minimum. We approximate the
+  // average chunk as 8 KiB (the library default); exactness is unnecessary —
+  // the min/max clamps dominate the distribution.
+  divisor_ = std::max<std::uint64_t>(1, params_.target_bytes / (8 * 1024));
+}
+
+std::vector<SegmentRef> Segmenter::segment(
+    const std::vector<StreamChunk>& chunks) const {
+  std::vector<SegmentRef> out;
+  if (chunks.empty()) return out;
+
+  SegmentRef cur{0, 0, 0};
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    cur.bytes += chunks[i].size;
+    cur.last = i + 1;
+
+    const bool over_min = cur.bytes >= params_.min_bytes;
+    const bool over_max = cur.bytes >= params_.max_bytes;
+    const bool content_boundary = chunks[i].fp.prefix64() % divisor_ == 0;
+
+    if (over_max || (over_min && content_boundary)) {
+      out.push_back(cur);
+      cur = SegmentRef{i + 1, i + 1, 0};
+    }
+  }
+  if (cur.chunk_count() > 0) out.push_back(cur);
+  return out;
+}
+
+}  // namespace defrag

@@ -1,0 +1,61 @@
+// Content-defined segmenting: groups contiguous chunks into segments of
+// 0.5-2 MB "based on the chunk content" (paper §III-B). The segment is the
+// processing unit of both SiLo and DeFrag: SiLo detects similar segments,
+// DeFrag computes its Spatial Locality Level per segment.
+//
+// Segment boundaries are declared on chunk fingerprints (a segment ends at a
+// chunk whose fingerprint satisfies a divisor test once the minimum segment
+// size is reached, or at the maximum size). Content-defined boundaries make
+// segments shift-resistant the same way CDC makes chunks shift-resistant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace defrag {
+
+/// A chunk as seen by the dedup engines: identity + geometry within the
+/// incoming stream.
+struct StreamChunk {
+  Fingerprint fp;
+  std::uint64_t stream_offset = 0;
+  std::uint32_t size = 0;
+};
+
+/// A segment is a half-open range [first, last) of chunk indices in the
+/// incoming stream's chunk vector, plus its total byte size.
+struct SegmentRef {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::uint64_t bytes = 0;
+
+  std::size_t chunk_count() const { return last - first; }
+  friend bool operator==(const SegmentRef&, const SegmentRef&) = default;
+};
+
+struct SegmenterParams {
+  std::uint64_t min_bytes = 512 * 1024;       // paper: 0.5 MB
+  std::uint64_t target_bytes = 1024 * 1024;   // expected ~1 MB
+  std::uint64_t max_bytes = 2 * 1024 * 1024;  // paper: 2 MB
+
+  void validate() const;
+};
+
+class Segmenter {
+ public:
+  explicit Segmenter(const SegmenterParams& params = {});
+
+  /// Partition `chunks` into contiguous segments covering all of them.
+  /// Deterministic in the chunk fingerprints. All segments except possibly
+  /// the last satisfy min_bytes <= bytes <= max_bytes (the max bound may be
+  /// overshot by at most one chunk, since chunks are never split).
+  std::vector<SegmentRef> segment(const std::vector<StreamChunk>& chunks) const;
+
+ private:
+  SegmenterParams params_;
+  std::uint64_t divisor_;
+};
+
+}  // namespace defrag

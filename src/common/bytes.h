@@ -1,0 +1,36 @@
+// Byte-buffer aliases and small helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace defrag {
+
+/// Owning byte buffer. All data moving through the dedup pipeline uses this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Non-owning mutable view of bytes.
+using MutableByteView = std::span<std::uint8_t>;
+
+/// Hex-encode a byte range (lowercase, no separators).
+std::string to_hex(ByteView data);
+
+/// Parse a lowercase/uppercase hex string. Throws std::invalid_argument on
+/// odd length or non-hex characters.
+Bytes from_hex(const std::string& hex);
+
+/// View a std::string's bytes without copying.
+inline ByteView as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a byte view into an owning buffer.
+inline Bytes to_bytes(ByteView v) { return Bytes(v.begin(), v.end()); }
+
+}  // namespace defrag

@@ -1,0 +1,42 @@
+// Invariant checking. DEFRAG_CHECK is always on (these guard data integrity,
+// not hot loops); DEFRAG_DCHECK compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace defrag {
+
+/// Thrown when a checked invariant fails. Catching this is a bug report, not
+/// a recovery path.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace defrag
+
+#define DEFRAG_CHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) ::defrag::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DEFRAG_CHECK_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) ::defrag::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DEFRAG_DCHECK(expr) ((void)0)
+#else
+#define DEFRAG_DCHECK(expr) DEFRAG_CHECK(expr)
+#endif

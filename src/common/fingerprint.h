@@ -1,0 +1,53 @@
+// Chunk fingerprints: the identity of a chunk throughout the system.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/sha1.h"
+
+namespace defrag {
+
+/// A 160-bit chunk fingerprint (SHA-1 of the chunk's content).
+///
+/// Fingerprints are the keys of every index in the system; two chunks with
+/// equal fingerprints are treated as identical content (standard assumption
+/// in the dedup literature).
+struct Fingerprint {
+  std::array<std::uint8_t, Sha1::kDigestSize> bytes{};
+
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+
+  /// Compute the fingerprint of a chunk's content.
+  static Fingerprint of(ByteView data) { return Fingerprint{Sha1::hash(data)}; }
+
+  /// First 8 bytes interpreted as a little-endian u64; good enough as a hash
+  /// because SHA-1 output is uniform.
+  std::uint64_t prefix64() const {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), sizeof(v));
+    return v;
+  }
+
+  std::string hex() const { return to_hex(ByteView{bytes.data(), bytes.size()}); }
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.prefix64());
+  }
+};
+
+}  // namespace defrag
+
+template <>
+struct std::hash<defrag::Fingerprint> {
+  std::size_t operator()(const defrag::Fingerprint& fp) const noexcept {
+    return defrag::FingerprintHash{}(fp);
+  }
+};

@@ -1,0 +1,54 @@
+// Minimal, dependency-free SHA-1 (FIPS 180-1), used for chunk fingerprints.
+//
+// SHA-1 is cryptographically broken for adversarial collision resistance but
+// remains the fingerprint function used by the deduplication literature this
+// repository reproduces (DDFS, SiLo, DeFrag all fingerprint with SHA-1); we
+// keep it for fidelity. Whole-stream integrity checks use SHA-256 instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace defrag {
+
+/// Incremental SHA-1 hasher.
+///
+///   Sha1 h;
+///   h.update(part1);
+///   h.update(part2);
+///   auto digest = h.finish();   // 20 bytes
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  /// Reset to the initial state, discarding any buffered input.
+  void reset();
+
+  /// Absorb more input bytes.
+  void update(ByteView data);
+
+  /// Finalize and return the digest. The hasher must be reset() before reuse.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace defrag

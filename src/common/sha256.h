@@ -1,0 +1,39 @@
+// Minimal, dependency-free SHA-256 (FIPS 180-4). Used for whole-stream
+// integrity verification in tests and the restore path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace defrag {
+
+/// Incremental SHA-256 hasher with the same shape as Sha1.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  static Digest hash(ByteView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace defrag

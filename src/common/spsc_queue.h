@@ -1,0 +1,87 @@
+// Bounded single-producer/single-consumer ring buffer used between pipeline
+// stages of the parallel dedup engine.
+//
+// Classic Lamport queue with C++20 atomics: the producer only writes `head_`,
+// the consumer only writes `tail_`, and each caches the other's index to
+// avoid ping-ponging the cache line on every operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace defrag {
+
+// 64 bytes on every platform we target; hardcoded rather than
+// std::hardware_destructive_interference_size because the latter is an
+// ABI-unstable compile-time guess (GCC warns on its use in headers).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity must be a power of two (index masking instead of modulo).
+  explicit SpscQueue(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    DEFRAG_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                     "SpscQueue capacity must be a power of two >= 2");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns std::nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Spin-push for pipeline stages where the downstream is guaranteed alive.
+  void push(T value) {
+    while (!try_push(std::move(value))) {
+      // The pipeline stages are balanced; short spins beat parking here.
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate size; exact only when called from a quiescent state.
+  std::size_t size_approx() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::size_t cached_tail_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLine) std::size_t cached_head_ = 0;
+};
+
+}  // namespace defrag

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace defrag {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Log2Histogram::add(std::uint64_t value) {
+  const int b =
+      value == 0
+          ? 0
+          : std::min(kBuckets - 1, static_cast<int>(std::bit_width(value)) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      // Midpoint of [2^i, 2^(i+1)).
+      return 1.5 * std::pow(2.0, i);
+    }
+  }
+  return std::pow(2.0, kBuckets);
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto c = counts_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    os << "[2^" << i << ", 2^" << (i + 1) << "): " << c << "\n";
+  }
+  return os.str();
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace defrag

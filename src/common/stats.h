@@ -1,0 +1,61 @@
+// Streaming statistics and histograms used by the metrics and bench layers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace defrag {
+
+/// Welford's online mean/variance plus min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket log2 histogram for size distributions (chunk sizes, segment
+/// sizes, fragments per file). Bucket i covers [2^i, 2^(i+1)).
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void add(std::uint64_t value);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
+
+  /// Approximate quantile from bucket midpoints, q in [0,1].
+  double quantile(double q) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile over a retained sample vector (for small series such as
+/// per-generation throughput).
+double percentile(std::vector<double> values, double q);
+
+}  // namespace defrag

@@ -1,0 +1,37 @@
+// Aligned-column console tables for the benchmark harnesses: every figure
+// driver prints its series through this so output is uniform and parseable.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace defrag {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  /// Render with column alignment and a separator line under the header.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (for piping into plotting scripts).
+  std::string to_csv() const;
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace defrag

@@ -1,0 +1,64 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/check.h"
+
+namespace defrag {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  DEFRAG_CHECK(threads >= 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+
+  // Join through futures: get() below guarantees every worker task has
+  // finished before `next`/`fn` go out of scope, and propagates the first
+  // exception. (A hand-rolled condition variable here is a lifetime trap:
+  // the final worker can notify after the waiter has already destroyed it.)
+  const std::size_t workers = std::min(n, thread_count());
+  std::vector<std::future<void>> joins;
+  joins.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    joins.push_back(submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& j : joins) j.get();
+}
+
+}  // namespace defrag

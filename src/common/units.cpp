@@ -1,0 +1,39 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace defrag {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t s = 0;
+  while (v >= 1024.0 && s + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++s;
+  }
+  char buf[48];
+  if (s == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[s]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace defrag

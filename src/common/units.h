@@ -1,0 +1,25 @@
+// Size/time unit helpers and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace defrag {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/// "1.50 MiB"-style formatting for byte counts.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 ms"-style formatting for a duration in seconds.
+std::string format_seconds(double seconds);
+
+/// Throughput in MB/s (decimal MB, as the paper reports) from bytes/seconds.
+inline double mb_per_sec(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+}  // namespace defrag

@@ -1,0 +1,145 @@
+#include "compress/delta.h"
+
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace defrag {
+
+namespace {
+
+constexpr std::uint8_t kInsert = 0x00;
+constexpr std::uint8_t kCopy = 0x01;
+
+inline std::uint64_t block_hash(const std::uint8_t* p) {
+  // FNV-1a over kBlock bytes; cheap and good enough for block anchors.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < Delta::kBlock; ++i) {
+    h = (h ^ p[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void emit_insert(Bytes& out, ByteView literal) {
+  std::size_t pos = 0;
+  while (pos < literal.size()) {
+    const std::size_t len = std::min<std::size_t>(
+        literal.size() - pos, std::numeric_limits<std::uint32_t>::max());
+    out.push_back(kInsert);
+    put_u32(out, static_cast<std::uint32_t>(len));
+    out.insert(out.end(), literal.begin() + static_cast<std::ptrdiff_t>(pos),
+               literal.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+}
+
+}  // namespace
+
+Bytes Delta::encode(ByteView base, ByteView target) {
+  Bytes out;
+  out.reserve(target.size() / 4 + 16);
+  put_u64(out, target.size());
+
+  // Index the base: block hash -> offset (last writer wins; collisions are
+  // verified byte-wise before use).
+  std::unordered_map<std::uint64_t, std::uint64_t> anchors;
+  if (base.size() >= kBlock) {
+    for (std::size_t off = 0; off + kBlock <= base.size(); off += kStep) {
+      anchors[block_hash(base.data() + off)] = off;
+    }
+  }
+
+  std::size_t pos = 0;           // scan position in target
+  std::size_t literal_start = 0;  // start of the pending INSERT run
+
+  while (pos + kBlock <= target.size()) {
+    const auto it = anchors.find(block_hash(target.data() + pos));
+    bool matched = false;
+    if (it != anchors.end()) {
+      std::size_t b = static_cast<std::size_t>(it->second);
+      std::size_t t = pos;
+      // Verify and extend forward.
+      std::size_t len = 0;
+      while (b + len < base.size() && t + len < target.size() &&
+             base[b + len] == target[t + len]) {
+        ++len;
+      }
+      if (len >= kBlock) {
+        // Extend backward into the pending literal run.
+        while (b > 0 && t > literal_start && base[b - 1] == target[t - 1]) {
+          --b;
+          --t;
+          ++len;
+        }
+        emit_insert(out, target.subspan(literal_start, t - literal_start));
+        out.push_back(kCopy);
+        put_u64(out, b);
+        put_u32(out, static_cast<std::uint32_t>(
+                         std::min<std::size_t>(len, 0xFFFFFFFFull)));
+        pos = t + len;
+        literal_start = pos;
+        matched = true;
+      }
+    }
+    if (!matched) ++pos;
+  }
+  emit_insert(out, target.subspan(literal_start));
+  return out;
+}
+
+Bytes Delta::decode(ByteView base, ByteView delta) {
+  DEFRAG_CHECK_MSG(delta.size() >= 8, "delta too short");
+  const std::uint64_t target_size = get_u64(delta.data());
+  Bytes out;
+  out.reserve(target_size);
+
+  std::size_t pos = 8;
+  while (pos < delta.size()) {
+    const std::uint8_t op = delta[pos++];
+    if (op == kInsert) {
+      DEFRAG_CHECK_MSG(pos + 4 <= delta.size(), "delta truncated insert");
+      const std::uint32_t len = get_u32(delta.data() + pos);
+      pos += 4;
+      DEFRAG_CHECK_MSG(pos + len <= delta.size(), "delta insert overruns");
+      out.insert(out.end(), delta.begin() + static_cast<std::ptrdiff_t>(pos),
+                 delta.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    } else if (op == kCopy) {
+      DEFRAG_CHECK_MSG(pos + 12 <= delta.size(), "delta truncated copy");
+      const std::uint64_t off = get_u64(delta.data() + pos);
+      const std::uint32_t len = get_u32(delta.data() + pos + 8);
+      pos += 12;
+      DEFRAG_CHECK_MSG(off + len <= base.size(), "delta copy out of base");
+      out.insert(out.end(), base.begin() + static_cast<std::ptrdiff_t>(off),
+                 base.begin() + static_cast<std::ptrdiff_t>(off + len));
+    } else {
+      DEFRAG_CHECK_MSG(false, "delta unknown opcode");
+    }
+  }
+  DEFRAG_CHECK_MSG(out.size() == target_size, "delta size mismatch");
+  return out;
+}
+
+}  // namespace defrag

@@ -1,0 +1,46 @@
+// Delta encoding between similar buffers (xdelta/Ddelta-style).
+//
+// Deduplication only removes *identical* chunks; near-duplicate chunks
+// (one edit apart) are invisible to it. Delta compression encodes a target
+// buffer as COPY/INSERT instructions against a similar base, capturing that
+// remaining redundancy. This codec pairs with the resemblance index in
+// index/features.h, which finds the base candidates.
+//
+// Encoding: greedy block matching. The base is indexed by a hash of every
+// kBlock-byte window at kStep-byte strides; the target is scanned, matches
+// are extended in both directions, gaps become INSERTs.
+//
+// Format (little-endian):
+//   u64 target_size | instruction*
+//   instruction := 0x00 | u32 len | raw bytes          (INSERT)
+//                | 0x01 | u64 base_offset | u32 len    (COPY)
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace defrag {
+
+class Delta {
+ public:
+  static constexpr std::size_t kBlock = 16;
+  static constexpr std::size_t kStep = 8;
+
+  /// Encode `target` against `base`. Always decodable; for unrelated
+  /// buffers the result is roughly target-sized (one big INSERT).
+  static Bytes encode(ByteView base, ByteView target);
+
+  /// Reconstruct the target. Throws CheckFailure on malformed input or
+  /// out-of-range COPY instructions.
+  static Bytes decode(ByteView base, ByteView delta);
+
+  /// Encoded-size / target-size; < 1 means the delta pays for itself.
+  static double ratio(ByteView base, ByteView target) {
+    if (target.empty()) return 1.0;
+    return static_cast<double>(encode(base, target).size()) /
+           static_cast<double>(target.size());
+  }
+};
+
+}  // namespace defrag

@@ -1,0 +1,165 @@
+#include "compress/lzss.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace defrag {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::size_t kMaxChainSteps = 32;  // match-search effort bound
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of a 3-byte prefix.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Bytes Lzss::compress(ByteView input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  put_u64(out, input.size());
+
+  if (input.empty()) return out;
+
+  // head[h]: most recent position with hash h; chain[i]: previous position
+  // with the same hash as i.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> chain(input.size(), -1);
+
+  std::size_t pos = 0;
+  std::size_t flag_index = 0;  // position of the current flag byte
+  int items_in_group = 8;      // forces a new flag byte on first token
+
+  auto begin_item = [&](bool is_match) {
+    if (items_in_group == 8) {
+      flag_index = out.size();
+      out.push_back(0);
+      items_in_group = 0;
+    }
+    if (is_match) {
+      out[flag_index] = static_cast<std::uint8_t>(
+          out[flag_index] | (1u << items_in_group));
+    }
+    ++items_in_group;
+  };
+
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (pos + kMinMatch <= input.size() && pos + 3 <= input.size()) {
+      const std::uint32_t h = hash3(input.data() + pos);
+      std::int64_t cand = head[h];
+      std::size_t steps = 0;
+      while (cand >= 0 && steps < kMaxChainSteps) {
+        const auto c = static_cast<std::size_t>(cand);
+        if (pos - c > kWindow) break;
+        const std::size_t limit = std::min(kMaxMatch, input.size() - pos);
+        std::size_t len = 0;
+        while (len < limit && input[c + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - c;
+          if (len == limit) break;
+        }
+        cand = chain[c];
+        ++steps;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_item(true);
+      put_u16(out, static_cast<std::uint16_t>(best_dist));
+      out.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      // Index every position covered by the match so later data can refer
+      // into it.
+      const std::size_t end = pos + best_len;
+      while (pos < end) {
+        if (pos + 3 <= input.size()) {
+          const std::uint32_t h = hash3(input.data() + pos);
+          chain[pos] = head[h];
+          head[h] = static_cast<std::int64_t>(pos);
+        }
+        ++pos;
+      }
+    } else {
+      begin_item(false);
+      out.push_back(input[pos]);
+      if (pos + 3 <= input.size()) {
+        const std::uint32_t h = hash3(input.data() + pos);
+        chain[pos] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+      }
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::uint64_t Lzss::raw_size(ByteView compressed) {
+  DEFRAG_CHECK_MSG(compressed.size() >= 8, "LZSS stream too short");
+  return get_u64(compressed.data());
+}
+
+Bytes Lzss::decompress(ByteView compressed) {
+  const std::uint64_t raw = raw_size(compressed);
+  Bytes out;
+  out.reserve(raw);
+
+  std::size_t pos = 8;
+  std::uint8_t flags = 0;
+  int items = 8;  // forces reading a flag byte first
+
+  while (out.size() < raw) {
+    if (items == 8) {
+      DEFRAG_CHECK_MSG(pos < compressed.size(), "LZSS truncated at flags");
+      flags = compressed[pos++];
+      items = 0;
+    }
+    const bool is_match = (flags >> items) & 1;
+    ++items;
+
+    if (is_match) {
+      DEFRAG_CHECK_MSG(pos + 3 <= compressed.size(), "LZSS truncated match");
+      const std::size_t dist = static_cast<std::size_t>(compressed[pos]) |
+                               (static_cast<std::size_t>(compressed[pos + 1]) << 8);
+      const std::size_t len = kMinMatch + compressed[pos + 2];
+      pos += 3;
+      DEFRAG_CHECK_MSG(dist >= 1 && dist <= out.size(), "LZSS bad distance");
+      DEFRAG_CHECK_MSG(out.size() + len <= raw, "LZSS output overrun");
+      // Byte-by-byte copy: matches may overlap their own output (RLE-style).
+      std::size_t src = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    } else {
+      DEFRAG_CHECK_MSG(pos < compressed.size(), "LZSS truncated literal");
+      out.push_back(compressed[pos++]);
+    }
+  }
+  DEFRAG_CHECK_MSG(out.size() == raw, "LZSS size mismatch");
+  return out;
+}
+
+}  // namespace defrag

@@ -1,0 +1,43 @@
+// LZSS codec for container-local compression.
+//
+// DDFS-class systems compress each container segment with a local
+// Lempel-Ziv pass after deduplication (dedup removes identical chunks,
+// local compression squeezes the unique residue). This is a clean-room
+// LZSS: greedy longest-match against a 64 KiB sliding window via a
+// 3-byte-prefix hash chain, emitting flag-bit-packed literal/match tokens.
+//
+// Format (little-endian):
+//   u64 raw_size | token stream
+//   token group := 1 flag byte (LSB first; 1 = match, 0 = literal)
+//                  followed by 8 items:
+//     literal := 1 raw byte
+//     match   := u16 distance (1-based, <= 65535) | u8 length-minimum
+// Matches encode lengths in [kMinMatch, kMinMatch+255].
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace defrag {
+
+class Lzss {
+ public:
+  static constexpr std::size_t kMinMatch = 4;
+  static constexpr std::size_t kMaxMatch = kMinMatch + 255;
+  static constexpr std::size_t kWindow = 64 * 1024 - 1;
+
+  /// Compress `input`. Output always round-trips through decompress();
+  /// for incompressible input it may be slightly larger than the input
+  /// (callers keep whichever is smaller — see Container usage).
+  static Bytes compress(ByteView input);
+
+  /// Decompress a buffer produced by compress(). Throws CheckFailure on a
+  /// malformed stream.
+  static Bytes decompress(ByteView compressed);
+
+  /// Exact decompressed size recorded in the header (cheap peek).
+  static std::uint64_t raw_size(ByteView compressed);
+};
+
+}  // namespace defrag

@@ -1,0 +1,78 @@
+// Public facade: the one header example applications need.
+//
+//   DedupSystem sys(EngineKind::kDefrag, config);
+//   auto r = sys.ingest(stream_bytes);        // one backup generation
+//   auto restored = sys.restore_verified(r.generation);
+//
+// The facade owns an engine, tracks cumulative accounting across
+// generations, and offers integrity-checked restore.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dedup/engine.h"
+#include "storage/catalog.h"
+#include "workload/backup_series.h"
+
+namespace defrag {
+
+class DedupSystem {
+ public:
+  DedupSystem(EngineKind kind, const EngineConfig& cfg = {});
+
+  /// Ingest the next backup generation (generations auto-number from 1).
+  BackupResult ingest(ByteView stream);
+
+  /// Ingest under an explicit generation number (must be fresh).
+  BackupResult ingest_as(std::uint32_t generation, ByteView stream);
+
+  /// Ingest a workload backup *with its file table*, enabling
+  /// restore_file() for this generation.
+  BackupResult ingest_backup(const workload::Backup& backup);
+
+  /// Restore one file of a cataloged generation. Reads only the containers
+  /// overlapping the file's stream range — the single-file counterpart of
+  /// the paper's Fig. 1 arithmetic. Throws if the generation was ingested
+  /// without a file table or the path is unknown.
+  FileRestoreResult restore_file(std::uint32_t generation,
+                                 const std::string& path,
+                                 Bytes* out = nullptr);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Simulate a restore; bytes are discarded.
+  RestoreResult restore(std::uint32_t generation);
+
+  /// Restore and return the reconstructed bytes.
+  Bytes restore_bytes(std::uint32_t generation, RestoreResult* result = nullptr);
+
+  DedupEngine& engine() { return *engine_; }
+  const DedupEngine& engine() const { return *engine_; }
+  EngineKind kind() const { return kind_; }
+
+  /// All per-generation results so far, in ingest order.
+  const std::vector<BackupResult>& history() const { return history_; }
+
+  /// Cumulative logical bytes ingested across generations.
+  std::uint64_t logical_bytes_ingested() const { return logical_ingested_; }
+
+  /// Physical bytes currently stored.
+  std::uint64_t stored_bytes() const;
+
+  /// Compression ratio: logical ingested / physical stored (>= 1).
+  double compression_ratio() const;
+
+  /// Fraction of truly-redundant bytes eliminated so far (exact dedup = 1).
+  double cumulative_dedup_efficiency() const;
+
+ private:
+  EngineKind kind_;
+  std::unique_ptr<DedupEngine> engine_;
+  Catalog catalog_;
+  std::vector<BackupResult> history_;
+  std::uint64_t logical_ingested_ = 0;
+  std::uint32_t next_generation_ = 1;
+};
+
+}  // namespace defrag

@@ -1,0 +1,97 @@
+#include "dedup/ddfs_engine.h"
+
+#include "common/check.h"
+
+namespace defrag {
+
+namespace {
+// Summary-vector sizing: generous capacity at 1% target FP rate, as DDFS
+// recommends. The filter never needs resizing within a run.
+constexpr std::uint64_t kBloomCapacity = 8u << 20;
+constexpr double kBloomFpRate = 0.01;
+}  // namespace
+
+DdfsEngine::DdfsEngine(const EngineConfig& cfg)
+    : EngineBase(cfg),
+      index_(cfg.index),
+      bloom_(kBloomCapacity, kBloomFpRate),
+      metadata_cache_(cfg.metadata_cache_containers) {}
+
+std::optional<IndexValue> DdfsEngine::classify(const StreamChunk& chunk,
+                                               DiskSim& sim) {
+  // 1. Locality-preserved cache: free RAM hit.
+  if (const auto hit = metadata_cache_.find(chunk.fp)) {
+    return IndexValue{
+        ChunkLocation{hit->container, hit->entry->offset, hit->entry->size},
+        hit->entry->segment};
+  }
+
+  // 2. Summary vector: a negative proves the chunk is new — no disk touched.
+  if (!bloom_.may_contain(chunk.fp)) return std::nullopt;
+
+  // 3. Full index on disk: pays a seek unless the page is cached.
+  const std::optional<IndexValue> hit = index_.lookup(chunk.fp, sim);
+  if (!hit) return std::nullopt;  // Bloom false positive
+
+  // Locality-preserved caching: pull the owning container's metadata section
+  // so this chunk's neighbours (likely the stream's next duplicates) dedup
+  // from RAM.
+  const auto& entries = store_.load_metadata(hit->location.container, sim);
+  metadata_cache_.insert(hit->location.container, entries);
+  return hit;
+}
+
+ChunkLocation DdfsEngine::store_chunk(const StreamChunk& chunk,
+                                      ByteView stream, SegmentId segment,
+                                      DiskSim& sim) {
+  const ByteView data = stream.subspan(chunk.stream_offset, chunk.size);
+  const ChunkLocation loc = store_.append(chunk.fp, data, segment, sim);
+  bloom_.insert(chunk.fp);
+  index_.insert(chunk.fp, IndexValue{loc, segment}, sim);
+  return loc;
+}
+
+BackupResult DdfsEngine::backup(std::uint32_t generation, ByteView stream) {
+  DiskSim sim(cfg_.disk);
+  BackupResult res;
+  res.generation = generation;
+  res.logical_bytes = stream.size();
+
+  const std::vector<StreamChunk> chunks = prepare_chunks(stream);
+  charge_compute(sim, stream.size());
+  res.chunk_count = chunks.size();
+
+  const std::vector<SegmentRef> segments = segmenter_.segment(chunks);
+  res.segment_count = segments.size();
+
+  Recipe& recipe = recipes_.create(generation, name());
+
+  for (const SegmentRef& seg : segments) {
+    const SegmentId seg_id = allocate_segment_id();
+    for (std::size_t i = seg.first; i < seg.last; ++i) {
+      const StreamChunk& c = chunks[i];
+      const bool truly_dup = ground_truth_duplicate(c.fp);
+      if (truly_dup) res.redundant_bytes += c.size;
+
+      const std::optional<IndexValue> dup = classify(c, sim);
+      if (dup) {
+        DEFRAG_CHECK_MSG(truly_dup, "classify() claimed a new chunk is dup");
+        recipe.add(c.fp, dup->location);
+        res.removed_bytes += c.size;
+      } else {
+        // DDFS is exact: classify() only misses when the chunk is truly new.
+        DEFRAG_CHECK_MSG(!truly_dup, "exact engine missed a duplicate");
+        const ChunkLocation loc = store_chunk(c, stream, seg_id, sim);
+        recipe.add(c.fp, loc);
+        res.unique_bytes += c.size;
+      }
+    }
+  }
+  store_.flush();
+
+  res.io = sim.stats();
+  res.sim_seconds = sim.elapsed_seconds();
+  return res;
+}
+
+}  // namespace defrag

@@ -1,0 +1,43 @@
+// Store scrubbing: verify that every recipe entry resolves to a container
+// extent whose content matches its fingerprint (an fsck for the dedup
+// store). Deduplication multiplies the blast radius of a single corrupt
+// chunk — one bad container extent silently corrupts every generation that
+// references it — so periodic scrubs are standard practice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/container_store.h"
+#include "storage/disk_model.h"
+#include "storage/recipe.h"
+
+namespace defrag {
+
+struct IntegrityViolation {
+  std::uint32_t generation = 0;
+  std::size_t entry_index = 0;
+  ChunkLocation location;
+  std::string what;  // "fingerprint mismatch", "unresolvable location", ...
+};
+
+struct IntegrityReport {
+  std::uint64_t entries_checked = 0;
+  std::uint64_t bytes_checked = 0;
+  std::vector<IntegrityViolation> violations;
+  IoStats io;
+  double sim_seconds = 0.0;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Scrub the given generations (all recipes in `recipes` if empty).
+/// Re-reads every referenced extent (charged to a DiskSim built from
+/// `disk`), recomputes its fingerprint and compares. Never throws on
+/// corruption — corruption is a *finding*, not a programming error.
+IntegrityReport scrub(const ContainerStore& store, const RecipeStore& recipes,
+                      const std::vector<std::uint32_t>& generations,
+                      const DiskModel& disk = {});
+
+}  // namespace defrag

@@ -1,0 +1,62 @@
+#include "dedup/metadata_cache.h"
+
+#include "common/check.h"
+
+namespace defrag {
+
+MetadataCache::MetadataCache(std::size_t capacity_containers)
+    : capacity_(capacity_containers) {
+  DEFRAG_CHECK(capacity_ >= 1);
+}
+
+void MetadataCache::evict_lru() {
+  DEFRAG_CHECK(!order_.empty());
+  auto victim = std::prev(order_.end());
+  for (const ContainerEntry& e : victim->entries) {
+    auto it = fingerprints_.find(e.fp);
+    // Only erase mappings still owned by the victim: a fingerprint can
+    // appear in several containers (DeFrag rewrites), and a newer insert
+    // may have claimed it.
+    if (it != fingerprints_.end() && it->second.first == victim) {
+      fingerprints_.erase(it);
+    }
+  }
+  containers_.erase(victim->id);
+  order_.erase(victim);
+}
+
+void MetadataCache::touch(Order::iterator it) {
+  order_.splice(order_.begin(), order_, it);
+}
+
+void MetadataCache::insert(ContainerId id,
+                           const std::vector<ContainerEntry>& entries) {
+  if (auto existing = containers_.find(id); existing != containers_.end()) {
+    touch(existing->second);
+    return;
+  }
+  while (containers_.size() >= capacity_) evict_lru();
+
+  order_.push_front(CachedContainer{id, entries});
+  const auto it = order_.begin();
+  containers_.emplace(id, it);
+  for (std::size_t i = 0; i < it->entries.size(); ++i) {
+    // insert_or_assign: the newest container wins ties, matching the intent
+    // that the most recently written copy has the best locality.
+    fingerprints_.insert_or_assign(it->entries[i].fp, std::make_pair(it, i));
+  }
+}
+
+std::optional<MetadataCache::Hit> MetadataCache::find(const Fingerprint& fp) {
+  auto it = fingerprints_.find(fp);
+  if (it == fingerprints_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  touch(it->second.first);
+  const auto& owner = *it->second.first;
+  return Hit{owner.id, &owner.entries[it->second.second]};
+}
+
+}  // namespace defrag

@@ -1,0 +1,63 @@
+// Locality-preserved caching (DDFS §"avoiding the disk bottleneck"):
+// an LRU of container fingerprint-metadata sections with a combined
+// fingerprint view, so "is this fingerprint in any cached container?" is one
+// hash lookup instead of a scan over cached containers.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "storage/container.h"
+
+namespace defrag {
+
+class MetadataCache {
+ public:
+  explicit MetadataCache(std::size_t capacity_containers);
+
+  /// Insert a container's metadata section, evicting the LRU container (and
+  /// its fingerprints) if needed. Re-inserting refreshes recency.
+  void insert(ContainerId id, const std::vector<ContainerEntry>& entries);
+
+  struct Hit {
+    ContainerId container;
+    const ContainerEntry* entry;
+  };
+
+  /// Combined lookup across all cached containers. Returns std::nullopt on
+  /// miss. A hit refreshes the owning container's recency.
+  std::optional<Hit> find(const Fingerprint& fp);
+
+  bool contains_container(ContainerId id) const {
+    return containers_.contains(id);
+  }
+
+  std::size_t container_count() const { return containers_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct CachedContainer {
+    ContainerId id;
+    std::vector<ContainerEntry> entries;
+  };
+  using Order = std::list<CachedContainer>;
+
+  void evict_lru();
+  void touch(Order::iterator it);
+
+  std::size_t capacity_;
+  Order order_;  // front = most recently used
+  std::unordered_map<ContainerId, Order::iterator> containers_;
+  // fp -> (owning container iterator, index into its entries)
+  std::unordered_map<Fingerprint, std::pair<Order::iterator, std::size_t>>
+      fingerprints_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace defrag

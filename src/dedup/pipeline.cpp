@@ -1,0 +1,55 @@
+#include "dedup/pipeline.h"
+
+#include <chrono>
+#include <future>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+
+namespace defrag {
+
+StreamPipeline::StreamPipeline(const Chunker& chunker, std::size_t workers,
+                               std::size_t batch_chunks)
+    : chunker_(chunker), pool_(std::max<std::size_t>(1, workers)),
+      batch_chunks_(batch_chunks) {
+  DEFRAG_CHECK(batch_chunks_ >= 1);
+}
+
+std::vector<StreamChunk> StreamPipeline::run(ByteView stream,
+                                             PipelineStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Stage 1 (this thread): sequential chunking.
+  const std::vector<ChunkRef> refs = chunker_.split(stream);
+  std::vector<StreamChunk> out(refs.size());
+
+  // Stage 2 (pool): fingerprint batches as they are carved off. Because
+  // split() already ran, batches dispatch immediately back-to-back; the
+  // futures keep completion ordered without locks on the result vector
+  // (disjoint ranges).
+  std::vector<std::future<void>> batches;
+  batches.reserve(refs.size() / batch_chunks_ + 1);
+  for (std::size_t start = 0; start < refs.size(); start += batch_chunks_) {
+    const std::size_t end = std::min(refs.size(), start + batch_chunks_);
+    batches.push_back(pool_.submit([&, start, end] {
+      for (std::size_t i = start; i < end; ++i) {
+        const ChunkRef& r = refs[i];
+        out[i] = StreamChunk{
+            Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset,
+            r.size};
+      }
+    }));
+  }
+  for (auto& b : batches) b.get();
+
+  if (stats) {
+    stats->chunk_count = refs.size();
+    stats->batch_count = batches.size();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return out;
+}
+
+}  // namespace defrag

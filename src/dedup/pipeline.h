@@ -1,0 +1,46 @@
+// Pipelined chunk preparation (P-Dedupe-style parallelism).
+//
+// Chunking is inherently sequential (each boundary depends on the previous
+// one), but fingerprinting is embarrassingly parallel across chunks. This
+// pipeline runs the chunker on the calling thread, streams chunk batches
+// through an SPSC queue to a fingerprint stage backed by a thread pool, and
+// reassembles results in stream order.
+//
+// This accelerates *wall-clock* experiment time only; simulated dedup time
+// is governed by EngineConfig::cpu_mb_per_s regardless, so parallelism never
+// distorts the reproduced figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "chunking/segmenter.h"
+#include "common/thread_pool.h"
+
+namespace defrag {
+
+struct PipelineStats {
+  std::size_t chunk_count = 0;
+  std::size_t batch_count = 0;
+  double wall_seconds = 0.0;
+};
+
+class StreamPipeline {
+ public:
+  /// `workers`: fingerprint threads (>=1). `batch_chunks`: chunks per queue
+  /// element; batching amortizes queue traffic.
+  StreamPipeline(const Chunker& chunker, std::size_t workers,
+                 std::size_t batch_chunks = 256);
+
+  /// Chunk + fingerprint the stream. Result is in stream order and
+  /// bit-identical to the synchronous path.
+  std::vector<StreamChunk> run(ByteView stream, PipelineStats* stats = nullptr);
+
+ private:
+  const Chunker& chunker_;
+  ThreadPool pool_;
+  std::size_t batch_chunks_;
+};
+
+}  // namespace defrag

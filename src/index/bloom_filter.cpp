@@ -1,0 +1,56 @@
+#include "index/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace defrag {
+
+BloomFilter::BloomFilter(std::uint64_t expected_items, double target_fp_rate) {
+  DEFRAG_CHECK(expected_items > 0);
+  DEFRAG_CHECK(target_fp_rate > 0.0 && target_fp_rate < 1.0);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(target_fp_rate) / (ln2 * ln2);
+  bit_count_ = std::max<std::uint64_t>(64, static_cast<std::uint64_t>(m));
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  hash_count_ = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(k)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::hash_pair(
+    const Fingerprint& fp) {
+  std::uint64_t h1, h2;
+  std::memcpy(&h1, fp.bytes.data(), 8);
+  std::memcpy(&h2, fp.bytes.data() + 8, 8);
+  h2 |= 1;  // keep the stride odd so probes cover the whole table
+  return {h1, h2};
+}
+
+void BloomFilter::insert(const Fingerprint& fp) {
+  auto [h1, h2] = hash_pair(fp);
+  for (std::uint32_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    bits_[bit >> 6] |= 1ull << (bit & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(const Fingerprint& fp) const {
+  auto [h1, h2] = hash_pair(fp);
+  for (std::uint32_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if (!(bits_[bit >> 6] & (1ull << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::uint64_t set = 0;
+  for (std::uint64_t w : bits_) set += static_cast<std::uint64_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(bit_count_);
+}
+
+}  // namespace defrag

@@ -1,0 +1,41 @@
+// Bloom filter ("summary vector" in DDFS): an in-RAM filter that lets the
+// engine skip the on-disk index entirely for chunks that are definitely new.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace defrag {
+
+class BloomFilter {
+ public:
+  /// Size the filter for `expected_items` at `target_fp_rate` (classic
+  /// m = -n ln p / (ln 2)^2, k = m/n ln 2 sizing).
+  BloomFilter(std::uint64_t expected_items, double target_fp_rate);
+
+  void insert(const Fingerprint& fp);
+
+  /// True if possibly present; false only if definitely absent.
+  bool may_contain(const Fingerprint& fp) const;
+
+  std::uint64_t bit_count() const { return bit_count_; }
+  std::uint32_t hash_count() const { return hash_count_; }
+  std::uint64_t inserted() const { return inserted_; }
+
+  /// Fraction of bits set — drives the achieved false-positive rate.
+  double fill_ratio() const;
+
+ private:
+  /// Double hashing: h_i = h1 + i*h2, both derived from the fingerprint
+  /// (SHA-1 output is uniform, so slicing it gives independent hashes).
+  static std::pair<std::uint64_t, std::uint64_t> hash_pair(const Fingerprint& fp);
+
+  std::uint64_t bit_count_;
+  std::uint32_t hash_count_;
+  std::uint64_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace defrag

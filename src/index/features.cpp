@@ -1,0 +1,107 @@
+#include "index/features.h"
+
+#include <unordered_map>
+
+#include "chunking/gear.h"
+#include "common/rng.h"
+
+namespace defrag {
+
+namespace {
+constexpr std::size_t kTotalFeatures =
+    ChunkFeatures::kSuperFeatures * ChunkFeatures::kFeaturesPerSuper;
+
+/// Fixed random (a, b) pairs for the min-wise transforms a*h + b.
+struct Transforms {
+  std::array<std::uint64_t, kTotalFeatures> a;
+  std::array<std::uint64_t, kTotalFeatures> b;
+};
+
+const Transforms& transforms() {
+  static const Transforms t = [] {
+    Transforms out{};
+    SplitMix64 sm(0x66656174757265ull);  // "feature", fixed forever
+    for (std::size_t i = 0; i < kTotalFeatures; ++i) {
+      out.a[i] = sm.next() | 1;  // odd => bijective mod 2^64
+      out.b[i] = sm.next();
+    }
+    return out;
+  }();
+  return t;
+}
+}  // namespace
+
+ChunkFeatures compute_features(ByteView data) {
+  const auto& gear = GearChunker::table();
+  const auto& t = transforms();
+
+  std::array<std::uint64_t, kTotalFeatures> mins;
+  mins.fill(~0ull);
+
+  // One gear-hash pass. Feeding every position through all transforms
+  // would cost kTotalFeatures multiplies per byte; instead sample the
+  // positions where the rolling hash has 6 trailing zero bits (1/64 of
+  // them, content-defined so edits shift which positions are sampled but
+  // not the surviving minima much) plus the final position as a fallback
+  // for tiny inputs.
+  std::uint64_t h = 0;
+  auto absorb = [&](std::uint64_t value) {
+    for (std::size_t i = 0; i < kTotalFeatures; ++i) {
+      const std::uint64_t v = t.a[i] * value + t.b[i];
+      if (v < mins[i]) mins[i] = v;
+    }
+  };
+  for (std::uint8_t byte : data) {
+    h = (h << 1) + gear[byte];
+    if ((h & 0x3F) == 0) absorb(h);
+  }
+  if (!data.empty()) absorb(h);
+
+  ChunkFeatures out;
+  for (std::size_t s = 0; s < ChunkFeatures::kSuperFeatures; ++s) {
+    // Super-feature = mix of its group's features.
+    std::uint64_t acc = 0x9e3779b97f4a7c15ull * (s + 1);
+    for (std::size_t f = 0; f < ChunkFeatures::kFeaturesPerSuper; ++f) {
+      SplitMix64 sm(acc ^ mins[s * ChunkFeatures::kFeaturesPerSuper + f]);
+      acc = sm.next();
+    }
+    out.super_features[s] = acc;
+  }
+  return out;
+}
+
+std::size_t ChunkFeatures::shared_with(const ChunkFeatures& other) const {
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < kSuperFeatures; ++i) {
+    shared += super_features[i] == other.super_features[i];
+  }
+  return shared;
+}
+
+void ResemblanceIndex::add(const ChunkFeatures& features,
+                           const Fingerprint& fp) {
+  for (std::uint64_t sf : features.super_features) {
+    table_.insert_or_assign(sf, fp);
+  }
+}
+
+std::optional<Fingerprint> ResemblanceIndex::find_base(
+    const ChunkFeatures& features) const {
+  std::unordered_map<Fingerprint, std::size_t> votes;
+  for (std::uint64_t sf : features.super_features) {
+    auto it = table_.find(sf);
+    if (it != table_.end()) ++votes[it->second];
+  }
+  if (votes.empty()) return std::nullopt;
+  const Fingerprint* best = nullptr;
+  std::size_t best_votes = 0;
+  for (const auto& [fp, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best = &fp;
+    }
+  }
+  return *best;
+}
+
+}  // namespace defrag

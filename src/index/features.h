@@ -1,0 +1,53 @@
+// Resemblance detection: super-features over chunks (Broder sketches as
+// used by delta-dedup systems).
+//
+// A chunk's *features* are N independent min-wise samples of its gear-hash
+// stream; similar chunks share most features. Features are grouped into
+// super-features (a hash of each group of kFeaturesPerSuper features): two
+// chunks sharing ANY super-feature are near-duplicates with high
+// probability. The ResemblanceIndex maps super-features to stored chunks
+// so an incoming chunk can find a delta base in O(#super-features).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+
+namespace defrag {
+
+struct ChunkFeatures {
+  static constexpr std::size_t kSuperFeatures = 3;
+  static constexpr std::size_t kFeaturesPerSuper = 4;
+
+  std::array<std::uint64_t, kSuperFeatures> super_features{};
+
+  friend bool operator==(const ChunkFeatures&, const ChunkFeatures&) = default;
+
+  /// Number of super-features two chunks share (0..kSuperFeatures).
+  std::size_t shared_with(const ChunkFeatures& other) const;
+};
+
+/// Compute the features of a chunk's content. Deterministic; O(n).
+ChunkFeatures compute_features(ByteView data);
+
+/// Super-feature -> representative stored chunk.
+class ResemblanceIndex {
+ public:
+  /// Register a stored chunk's features (newest wins per super-feature).
+  void add(const ChunkFeatures& features, const Fingerprint& fp);
+
+  /// The stored chunk sharing the most super-features with `features`
+  /// (nullopt if none share any).
+  std::optional<Fingerprint> find_base(const ChunkFeatures& features) const;
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Fingerprint> table_;
+};
+
+}  // namespace defrag

@@ -1,0 +1,48 @@
+#include "index/paged_index.h"
+
+#include "common/check.h"
+
+namespace defrag {
+
+PagedIndex::PagedIndex(const PagedIndexParams& params)
+    : params_(params),
+      page_count_(std::max<std::uint64_t>(
+          1, params.expected_chunks * params.entry_bytes / params.page_bytes)),
+      page_cache_(params.page_cache_pages) {
+  DEFRAG_CHECK(params_.page_bytes >= params_.entry_bytes);
+}
+
+std::optional<IndexValue> PagedIndex::lookup(const Fingerprint& fp,
+                                             DiskSim& sim) {
+  const std::uint64_t page = page_of(fp);
+  if (page_cache_.get(page) == nullptr) {
+    sim.seek();
+    sim.read(params_.page_bytes);
+    page_cache_.put(page, 0);
+  }
+  return peek(fp);
+}
+
+std::optional<IndexValue> PagedIndex::peek(const Fingerprint& fp) const {
+  auto it = map_.find(fp);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PagedIndex::insert(const Fingerprint& fp, const IndexValue& value,
+                        DiskSim& sim) {
+  DEFRAG_CHECK_MSG(value.location.valid(), "inserting invalid location");
+  map_.insert_or_assign(fp, value);
+  // Log-structured index update: entries are batched and flushed
+  // sequentially in the background.
+  sim.write_behind(params_.entry_bytes);
+}
+
+void PagedIndex::update(const Fingerprint& fp, const IndexValue& value,
+                        DiskSim& sim) {
+  DEFRAG_CHECK_MSG(map_.contains(fp), "update of missing index entry");
+  map_.insert_or_assign(fp, value);
+  sim.write_behind(params_.entry_bytes);
+}
+
+}  // namespace defrag

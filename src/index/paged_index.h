@@ -1,0 +1,76 @@
+// The full chunk index, modeled as an on-disk paged hash table.
+//
+// This is the "disk bottleneck" of the deduplication literature: the index
+// is far too large for RAM, so a lookup that misses the (small) page cache
+// costs a random disk read. The truth data lives in an in-memory hash map —
+// we simulate the *cost*, not the durability — but every lookup charges I/O
+// exactly as a real paged index would: hash the fingerprint to a page, and
+// on page-cache miss pay one seek + one page transfer.
+//
+// Inserts are buffered and flushed sequentially (as DDFS does with its
+// log-structured index updates), so they charge amortized sequential writes,
+// not seeks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/fingerprint.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
+#include "storage/lru_cache.h"
+
+namespace defrag {
+
+/// What the index knows about a stored chunk.
+struct IndexValue {
+  ChunkLocation location;
+  SegmentId segment = kInvalidSegment;
+};
+
+struct PagedIndexParams {
+  std::uint64_t page_bytes = 4096;     // one index page = one disk read
+  std::uint64_t entry_bytes = 40;      // fp + location + segment, on disk
+  std::uint64_t page_cache_pages = 64; // tiny by design: RAM is the scarce
+                                       // resource the literature fights over
+  std::uint64_t expected_chunks = 1 << 20;  // sizes the page space
+};
+
+class PagedIndex {
+ public:
+  explicit PagedIndex(const PagedIndexParams& params = {});
+
+  /// Charged lookup: walks the page cache, pays a disk read on miss.
+  std::optional<IndexValue> lookup(const Fingerprint& fp, DiskSim& sim);
+
+  /// Free lookup used for ground-truth accounting and by write paths that
+  /// already paid for the page (e.g. the insert buffer).
+  std::optional<IndexValue> peek(const Fingerprint& fp) const;
+
+  /// Insert a new entry (buffered; charges amortized sequential write).
+  void insert(const Fingerprint& fp, const IndexValue& value, DiskSim& sim);
+
+  /// Overwrite an existing entry's value (DeFrag points duplicates at their
+  /// rewritten copy). Charges like insert.
+  void update(const Fingerprint& fp, const IndexValue& value, DiskSim& sim);
+
+  bool contains(const Fingerprint& fp) const { return map_.contains(fp); }
+  std::size_t size() const { return map_.size(); }
+
+  std::uint64_t page_cache_hits() const { return page_cache_.hits(); }
+  std::uint64_t page_cache_misses() const { return page_cache_.misses(); }
+
+ private:
+  std::uint64_t page_of(const Fingerprint& fp) const {
+    return fp.prefix64() % page_count_;
+  }
+
+  PagedIndexParams params_;
+  std::uint64_t page_count_;
+  std::unordered_map<Fingerprint, IndexValue> map_;
+  // Value is unused; the cache tracks which pages are resident.
+  mutable LruCache<std::uint64_t, char> page_cache_;
+};
+
+}  // namespace defrag

@@ -1,0 +1,33 @@
+#include "index/similarity_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace defrag {
+
+Fingerprint representative_fingerprint(const std::vector<StreamChunk>& chunks,
+                                       const SegmentRef& seg) {
+  DEFRAG_CHECK(seg.first < seg.last && seg.last <= chunks.size());
+  Fingerprint best = chunks[seg.first].fp;
+  for (std::size_t i = seg.first + 1; i < seg.last; ++i) {
+    best = std::min(best, chunks[i].fp);
+  }
+  return best;
+}
+
+std::vector<Fingerprint> representative_sample(
+    const std::vector<StreamChunk>& chunks, const SegmentRef& seg,
+    std::size_t k) {
+  DEFRAG_CHECK(seg.first < seg.last && seg.last <= chunks.size());
+  std::vector<Fingerprint> fps;
+  fps.reserve(seg.chunk_count());
+  for (std::size_t i = seg.first; i < seg.last; ++i) fps.push_back(chunks[i].fp);
+  k = std::min(k, fps.size());
+  std::partial_sort(fps.begin(), fps.begin() + static_cast<std::ptrdiff_t>(k),
+                    fps.end());
+  fps.resize(k);
+  return fps;
+}
+
+}  // namespace defrag

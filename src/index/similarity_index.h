@@ -1,0 +1,56 @@
+// SiLo's similarity machinery: representative fingerprints and the in-RAM
+// similarity hash table mapping them to the block that stored them.
+//
+// A segment's representative fingerprint is the minimum fingerprint of its
+// chunks (minhash): if two segments share a large fraction of chunks, they
+// share the minimum with high probability (Broder's theorem), so probing one
+// small RAM table detects similar segments without touching the full index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/segmenter.h"
+#include "common/fingerprint.h"
+
+namespace defrag {
+
+using BlockId = std::uint64_t;
+
+/// Representative fingerprint of a segment: the minimum chunk fingerprint.
+Fingerprint representative_fingerprint(const std::vector<StreamChunk>& chunks,
+                                       const SegmentRef& seg);
+
+/// Several spaced samples (the k smallest fingerprints); probing more than
+/// one representative raises similarity recall at a small RAM cost.
+std::vector<Fingerprint> representative_sample(
+    const std::vector<StreamChunk>& chunks, const SegmentRef& seg,
+    std::size_t k);
+
+class SimilarityIndex {
+ public:
+  /// Record that a segment with representative `rep` was stored in `block`.
+  /// Later registrations overwrite earlier ones (most recent block wins,
+  /// matching SiLo's behaviour where the newest copy has the best locality).
+  void add(const Fingerprint& rep, BlockId block) {
+    table_.insert_or_assign(rep, block);
+  }
+
+  std::optional<BlockId> find(const Fingerprint& rep) const {
+    auto it = table_.find(rep);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return table_.size(); }
+
+  /// RAM footprint estimate (bytes): one entry is a fingerprint + block id.
+  std::uint64_t ram_bytes() const { return table_.size() * (20 + 8); }
+
+ private:
+  std::unordered_map<Fingerprint, BlockId> table_;
+};
+
+}  // namespace defrag

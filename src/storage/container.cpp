@@ -1,0 +1,38 @@
+#include "storage/container.h"
+
+#include "common/check.h"
+#include "compress/lzss.h"
+
+namespace defrag {
+
+void Container::seal(bool compress) {
+  if (sealed_) return;
+  sealed_ = true;
+  if (compress && !data_.empty()) {
+    const Bytes packed = Lzss::compress(data_);
+    if (packed.size() < data_.size()) {
+      stored_bytes_ = packed.size();
+    }
+  }
+}
+
+ChunkLocation Container::append(const Fingerprint& fp, ByteView data,
+                                SegmentId segment) {
+  DEFRAG_CHECK_MSG(!sealed_, "append to sealed container");
+  DEFRAG_CHECK_MSG(data_.size() + data.size() <= capacity_,
+                   "container overflow; call fits() first");
+  const auto offset = static_cast<std::uint32_t>(data_.size());
+  data_.insert(data_.end(), data.begin(), data.end());
+  entries_.push_back(ContainerEntry{
+      fp, offset, static_cast<std::uint32_t>(data.size()), segment});
+  return ChunkLocation{id_, offset, static_cast<std::uint32_t>(data.size())};
+}
+
+ByteView Container::read(const ChunkLocation& loc) const {
+  DEFRAG_CHECK_MSG(loc.container == id_, "read from wrong container");
+  DEFRAG_CHECK_MSG(static_cast<std::uint64_t>(loc.offset) + loc.size <= data_.size(),
+                   "chunk range out of container bounds");
+  return ByteView{data_.data() + loc.offset, loc.size};
+}
+
+}  // namespace defrag

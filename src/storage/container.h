@@ -1,0 +1,112 @@
+// Containers: the unit of data placement and of locality.
+//
+// As in DDFS, unique chunks are packed append-only into fixed-capacity
+// containers (default 4 MB). A container is written sequentially once and
+// never modified; reading any chunk costs one seek plus the container (or
+// the requested range) transfer. The set of containers a backup's chunks
+// live in *is* the de-linearization the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+
+namespace defrag {
+
+using ContainerId = std::uint32_t;
+using SegmentId = std::uint64_t;
+
+inline constexpr ContainerId kInvalidContainer =
+    std::numeric_limits<ContainerId>::max();
+inline constexpr SegmentId kInvalidSegment =
+    std::numeric_limits<SegmentId>::max();
+
+/// Where a stored chunk lives.
+struct ChunkLocation {
+  ContainerId container = kInvalidContainer;
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+
+  bool valid() const { return container != kInvalidContainer; }
+  friend bool operator==(const ChunkLocation&, const ChunkLocation&) = default;
+};
+
+/// Per-chunk metadata stored in a container's metadata section. The
+/// `segment` field records which *stored segment* the chunk was written as
+/// part of — DeFrag's SPL is computed against stored segments.
+struct ContainerEntry {
+  Fingerprint fp;
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+  SegmentId segment = kInvalidSegment;
+};
+
+/// On-"disk" size of one metadata entry: 20-byte fingerprint + offset +
+/// size + segment id. Used to charge metadata-prefetch I/O.
+inline constexpr std::uint64_t kContainerEntryBytes = 20 + 4 + 4 + 8;
+
+class Container {
+ public:
+  explicit Container(ContainerId id, std::uint64_t capacity)
+      : id_(id), capacity_(capacity) {
+    data_.reserve(capacity);
+  }
+
+  ContainerId id() const { return id_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t data_bytes() const { return data_.size(); }
+  std::uint64_t metadata_bytes() const {
+    return entries_.size() * kContainerEntryBytes;
+  }
+  bool sealed() const { return sealed_; }
+
+  /// Physical bytes this container occupies on disk: the local-compression
+  /// size when seal(true) shrank it, the raw size otherwise. RAM always
+  /// holds the raw payload (reads never pay a decompression data path in
+  /// this simulation; the transfer cost model uses stored_bytes()).
+  std::uint64_t stored_bytes() const {
+    return stored_bytes_ == 0 ? data_.size() : stored_bytes_;
+  }
+
+  /// Local compression ratio achieved at seal time (>= 1.0).
+  double local_compression() const {
+    return stored_bytes() == 0
+               ? 1.0
+               : static_cast<double>(data_.size()) /
+                     static_cast<double>(stored_bytes());
+  }
+
+  /// Room for `size` more data bytes?
+  bool fits(std::uint32_t size) const {
+    return !sealed_ && data_.size() + size <= capacity_;
+  }
+
+  /// Append a chunk; caller must have checked fits(). Returns its location.
+  ChunkLocation append(const Fingerprint& fp, ByteView data, SegmentId segment);
+
+  /// Mark immutable. Idempotent. With `compress`, runs the DDFS-style
+  /// local LZSS pass and records the physical (stored) size — kept only
+  /// when it actually shrinks the payload.
+  void seal(bool compress = false);
+
+  const std::vector<ContainerEntry>& entries() const { return entries_; }
+
+  /// Read a chunk's bytes back out of the container.
+  ByteView read(const ChunkLocation& loc) const;
+
+  /// Full data payload (for whole-container restore reads).
+  ByteView data() const { return data_; }
+
+ private:
+  ContainerId id_;
+  std::uint64_t capacity_;
+  Bytes data_;
+  std::vector<ContainerEntry> entries_;
+  bool sealed_ = false;
+  std::uint64_t stored_bytes_ = 0;  // 0 = uncompressed (raw size applies)
+};
+
+}  // namespace defrag

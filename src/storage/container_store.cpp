@@ -1,0 +1,79 @@
+#include "storage/container_store.h"
+
+#include "common/check.h"
+
+namespace defrag {
+
+ContainerStore::ContainerStore(std::uint64_t container_capacity,
+                               bool compress_on_seal)
+    : capacity_(container_capacity), compress_on_seal_(compress_on_seal) {
+  DEFRAG_CHECK(capacity_ >= 64 * 1024);
+}
+
+Container& ContainerStore::writable() {
+  if (containers_.empty() || containers_.back()->sealed()) {
+    containers_.push_back(std::make_unique<Container>(
+        static_cast<ContainerId>(containers_.size()), capacity_));
+  }
+  return *containers_.back();
+}
+
+ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
+                                     SegmentId segment, DiskSim& sim) {
+  DEFRAG_CHECK_MSG(data.size() <= capacity_,
+                   "chunk larger than container capacity");
+  Container* c = &writable();
+  if (!c->fits(static_cast<std::uint32_t>(data.size()))) {
+    c->seal(compress_on_seal_);
+    c = &writable();
+  }
+  // Container writes are sequential at the log head and flushed write-behind;
+  // the metadata section is written alongside the data, so count both.
+  sim.write_behind(data.size() + kContainerEntryBytes);
+  return c->append(fp, data, segment);
+}
+
+void ContainerStore::flush() {
+  if (!containers_.empty()) containers_.back()->seal(compress_on_seal_);
+}
+
+const Container& ContainerStore::load(ContainerId id, DiskSim& sim) const {
+  const Container& c = peek(id);
+  sim.seek();
+  sim.read(c.stored_bytes() + c.metadata_bytes());
+  return c;
+}
+
+const std::vector<ContainerEntry>& ContainerStore::load_metadata(
+    ContainerId id, DiskSim& sim) const {
+  const Container& c = peek(id);
+  sim.seek();
+  sim.read(c.metadata_bytes());
+  return c.entries();
+}
+
+const Container& ContainerStore::peek(ContainerId id) const {
+  DEFRAG_CHECK_MSG(id < containers_.size(), "unknown container id");
+  return *containers_[id];
+}
+
+ContainerId ContainerStore::open_container() const {
+  if (containers_.empty() || containers_.back()->sealed()) {
+    return kInvalidContainer;
+  }
+  return containers_.back()->id();
+}
+
+std::uint64_t ContainerStore::total_data_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : containers_) total += c->data_bytes();
+  return total;
+}
+
+std::uint64_t ContainerStore::total_stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : containers_) total += c->stored_bytes();
+  return total;
+}
+
+}  // namespace defrag

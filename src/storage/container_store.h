@@ -1,0 +1,69 @@
+// Append-only container store: the simulated disk's data log.
+//
+// Writers stream chunks into the open container; when it fills it is sealed
+// and flushed (sequential write, charged to the caller's DiskSim). Readers
+// load whole containers or just their metadata sections, each costing one
+// seek plus the transfer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/container.h"
+#include "storage/disk_model.h"
+
+namespace defrag {
+
+class ContainerStore {
+ public:
+  /// `compress_on_seal` enables DDFS-style local LZSS compression of each
+  /// container when it seals; reads then transfer the compressed size.
+  explicit ContainerStore(std::uint64_t container_capacity = 4ull << 20,
+                          bool compress_on_seal = false);
+
+  /// Append a chunk to the open container, sealing/rolling as needed.
+  /// Charges the sequential data write to `sim`. Returns the chunk location.
+  ChunkLocation append(const Fingerprint& fp, ByteView data, SegmentId segment,
+                       DiskSim& sim);
+
+  /// Seal the open container (end of a backup stream). Charges nothing: the
+  /// data was already charged on append.
+  void flush();
+
+  /// Load a container for data access (restore path): one seek + full
+  /// container transfer.
+  const Container& load(ContainerId id, DiskSim& sim) const;
+
+  /// Load only the metadata section (DDFS locality-preserved caching):
+  /// one seek + metadata transfer.
+  const std::vector<ContainerEntry>& load_metadata(ContainerId id,
+                                                   DiskSim& sim) const;
+
+  /// Direct in-memory access without I/O charging (tests, accounting).
+  const Container& peek(ContainerId id) const;
+
+  /// Container currently open for appends, or kInvalidContainer when none.
+  ContainerId open_container() const;
+
+  std::size_t container_count() const { return containers_.size(); }
+  std::uint64_t container_capacity() const { return capacity_; }
+
+  /// Total (raw) data bytes stored across all containers.
+  std::uint64_t total_data_bytes() const;
+
+  /// Total physical bytes on disk (<= total_data_bytes when local
+  /// compression is on).
+  std::uint64_t total_stored_bytes() const;
+
+  bool compress_on_seal() const { return compress_on_seal_; }
+
+ private:
+  Container& writable();
+
+  std::uint64_t capacity_;
+  bool compress_on_seal_;
+  std::vector<std::unique_ptr<Container>> containers_;
+};
+
+}  // namespace defrag

@@ -1,0 +1,98 @@
+// Generic LRU cache with entry-count capacity. Used for:
+//  - DDFS locality-preserved caching (container-id -> fingerprint set)
+//  - SiLo block cache (block-id -> fingerprint set)
+//  - restore container cache (container-id -> data)
+//  - paged index page cache (page-id -> page)
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace defrag {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    DEFRAG_CHECK(capacity >= 1);
+  }
+
+  /// Look up and mark most-recently-used. Returns nullptr on miss. The
+  /// pointer stays valid until the next insert/erase.
+  V* get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Peek without touching recency (for stats probes).
+  const V* peek(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  bool contains(const K& key) const { return map_.contains(key); }
+
+  /// Insert or overwrite; evicts the LRU entry when at capacity.
+  /// Returns a reference to the stored value.
+  V& put(K key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return it->second->second;
+    }
+    if (map_.size() >= capacity_) {
+      auto& lru = order_.back();
+      map_.erase(lru.first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(std::move(key), std::move(value));
+    map_.emplace(order_.front().first, order_.begin());
+    return order_.front().second;
+  }
+
+  void erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  using Entry = std::pair<K, V>;
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace defrag

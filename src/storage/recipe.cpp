@@ -1,0 +1,39 @@
+#include "storage/recipe.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace defrag {
+
+std::size_t Recipe::distinct_containers() const {
+  std::unordered_set<ContainerId> seen;
+  for (const auto& e : entries_) seen.insert(e.location.container);
+  return seen.size();
+}
+
+std::size_t Recipe::container_switches() const {
+  std::size_t switches = 0;
+  ContainerId prev = kInvalidContainer;
+  for (const auto& e : entries_) {
+    if (e.location.container != prev) {
+      ++switches;
+      prev = e.location.container;
+    }
+  }
+  return switches;
+}
+
+Recipe& RecipeStore::create(std::uint32_t generation, std::string label) {
+  auto [it, inserted] = recipes_.try_emplace(generation, std::move(label));
+  DEFRAG_CHECK_MSG(inserted, "recipe for generation already exists");
+  return it->second;
+}
+
+const Recipe& RecipeStore::get(std::uint32_t generation) const {
+  auto it = recipes_.find(generation);
+  DEFRAG_CHECK_MSG(it != recipes_.end(), "unknown recipe generation");
+  return it->second;
+}
+
+}  // namespace defrag

@@ -1,0 +1,65 @@
+// Backup recipes: the ordered chunk-location list a restore replays.
+//
+// One recipe per backup generation. Restore walks the entries in stream
+// order; the sequence of container ids visited is exactly the fragmentation
+// profile of that generation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "storage/container.h"
+
+namespace defrag {
+
+struct RecipeEntry {
+  Fingerprint fp;
+  ChunkLocation location;
+};
+
+class Recipe {
+ public:
+  Recipe() = default;
+  explicit Recipe(std::string label) : label_(std::move(label)) {}
+
+  void add(const Fingerprint& fp, const ChunkLocation& loc) {
+    entries_.push_back(RecipeEntry{fp, loc});
+    logical_bytes_ += loc.size;
+  }
+
+  const std::vector<RecipeEntry>& entries() const { return entries_; }
+  std::uint64_t logical_bytes() const { return logical_bytes_; }
+  const std::string& label() const { return label_; }
+
+  /// Number of distinct containers referenced — the fragment count of this
+  /// backup under container-granularity reads.
+  std::size_t distinct_containers() const;
+
+  /// Number of *container switches* while walking the recipe in stream
+  /// order: the seek count of an uncached restore.
+  std::size_t container_switches() const;
+
+ private:
+  std::string label_;
+  std::vector<RecipeEntry> entries_;
+  std::uint64_t logical_bytes_ = 0;
+};
+
+/// Keyed collection of recipes (generation number -> recipe).
+class RecipeStore {
+ public:
+  Recipe& create(std::uint32_t generation, std::string label);
+  const Recipe& get(std::uint32_t generation) const;
+  bool contains(std::uint32_t generation) const {
+    return recipes_.contains(generation);
+  }
+  std::size_t size() const { return recipes_.size(); }
+
+ private:
+  std::map<std::uint32_t, Recipe> recipes_;
+};
+
+}  // namespace defrag

@@ -1,0 +1,51 @@
+#include "workload/backup_series.h"
+
+#include "common/rng.h"
+
+namespace defrag::workload {
+
+SingleUserSeries::SingleUserSeries(std::uint64_t seed, const FsParams& params)
+    : fs_(seed, params) {}
+
+namespace {
+std::vector<BackupFile> to_backup_files(const FileSystemModel& fs) {
+  std::vector<BackupFile> out;
+  for (const auto& [path, offset, size] : fs.file_table()) {
+    out.push_back(BackupFile{path, offset, size});
+  }
+  return out;
+}
+}  // namespace
+
+Backup SingleUserSeries::next() {
+  if (produced_ > 0) fs_.mutate();
+  ++produced_;
+  return Backup{produced_, 0, fs_.materialize_stream(), to_backup_files(fs_)};
+}
+
+MultiUserSeries::MultiUserSeries(std::uint64_t seed, const FsParams& params,
+                                 std::set<std::uint32_t> fresh_epochs)
+    : fresh_epochs_(std::move(fresh_epochs)) {
+  users_.reserve(kUsers);
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    users_.push_back(
+        std::make_unique<FileSystemModel>(derive_seed(seed, u), params));
+  }
+  user_has_backed_up_.assign(kUsers, false);
+}
+
+Backup MultiUserSeries::next() {
+  ++produced_;
+  const std::uint32_t user = (produced_ - 1) % kUsers;
+  const bool fresh = fresh_epochs_.contains(produced_);
+  if (user_has_backed_up_[user]) {
+    users_[user]->mutate(fresh);
+  } else if (fresh) {
+    users_[user]->mutate(true);
+  }
+  user_has_backed_up_[user] = true;
+  return Backup{produced_, user, users_[user]->materialize_stream(),
+                to_backup_files(*users_[user])};
+}
+
+}  // namespace defrag::workload

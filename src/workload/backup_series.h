@@ -1,0 +1,74 @@
+// Backup series generators matching the paper's two datasets:
+//
+//  - SingleUserSeries: "20 full backup generations of one author's file
+//    system" (drives Figs. 2, 3, 6). One FileSystemModel, one backup per
+//    generation.
+//  - MultiUserSeries: "66 backups of the file systems by five graduate
+//    students" (drives Figs. 4, 5). Five FileSystemModels; backup i comes
+//    from user i mod 5, whose file system evolved since their last backup.
+//    Selected backup indices are fresh epochs (new-project bursts) to
+//    reproduce the high-locality generations the paper calls out (1-5,
+//    41-42).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "workload/fs_model.h"
+
+namespace defrag::workload {
+
+/// One file's placement within a backup stream.
+struct BackupFile {
+  std::string path;
+  std::uint64_t stream_offset = 0;
+  std::uint64_t size = 0;
+};
+
+/// One backup handed to an engine.
+struct Backup {
+  std::uint32_t generation = 0;  // 1-based, as in the paper's figures
+  std::uint32_t user = 0;
+  Bytes stream;
+  std::vector<BackupFile> files;  // stream-order file table
+};
+
+class SingleUserSeries {
+ public:
+  SingleUserSeries(std::uint64_t seed, const FsParams& params);
+
+  /// Produce the next backup (generation 1, 2, ...). The first call returns
+  /// the initial file system; later calls mutate first.
+  Backup next();
+
+  std::uint32_t produced() const { return produced_; }
+
+ private:
+  FileSystemModel fs_;
+  std::uint32_t produced_ = 0;
+};
+
+class MultiUserSeries {
+ public:
+  static constexpr std::uint32_t kUsers = 5;
+
+  /// `fresh_epochs`: 1-based backup indices that inject a new-project burst
+  /// into the owning user's file system before that backup.
+  MultiUserSeries(std::uint64_t seed, const FsParams& params,
+                  std::set<std::uint32_t> fresh_epochs = {41, 42});
+
+  Backup next();
+
+  std::uint32_t produced() const { return produced_; }
+
+ private:
+  std::vector<std::unique_ptr<FileSystemModel>> users_;
+  std::vector<bool> user_has_backed_up_;
+  std::set<std::uint32_t> fresh_epochs_;
+  std::uint32_t produced_ = 0;
+};
+
+}  // namespace defrag::workload

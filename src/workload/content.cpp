@@ -1,0 +1,53 @@
+#include "workload/content.h"
+
+#include "common/rng.h"
+
+namespace defrag::workload {
+
+namespace {
+void materialize_text(const Extent& extent, MutableByteView out) {
+  // A 256-byte pseudo-random phrase tiled across the extent, with one
+  // seeded edit byte per 64-byte stride: highly LZ-compressible yet unique
+  // per seed (so dedup still sees distinct extents as distinct).
+  std::uint8_t phrase[256];
+  Xoshiro256 rng(extent.seed);
+  rng.fill(phrase);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = phrase[i & 255];
+  }
+  for (std::size_t i = 0; i < out.size(); i += 64) {
+    out[i] = static_cast<std::uint8_t>(rng.next());
+  }
+}
+}  // namespace
+
+void materialize_extent(const Extent& extent, Bytes& out) {
+  const std::size_t old_size = out.size();
+  out.resize(old_size + extent.size);
+  MutableByteView view{out.data() + old_size, extent.size};
+  switch (extent.kind) {
+    case ExtentKind::kRandom: {
+      Xoshiro256 rng(extent.seed);
+      rng.fill(view);
+      break;
+    }
+    case ExtentKind::kText:
+      materialize_text(extent, view);
+      break;
+  }
+}
+
+std::uint64_t extents_bytes(const std::vector<Extent>& extents) {
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.size;
+  return total;
+}
+
+Bytes materialize(const std::vector<Extent>& extents) {
+  Bytes out;
+  out.reserve(extents_bytes(extents));
+  for (const auto& e : extents) materialize_extent(e, out);
+  return out;
+}
+
+}  // namespace defrag::workload

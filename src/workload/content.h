@@ -1,0 +1,44 @@
+// Deterministic content model for synthetic file systems.
+//
+// A file's content is a sequence of extents; each extent is (seed, size) and
+// materializes to pseudo-random bytes from that seed. Edits replace, insert
+// or delete extents, so an edited file shares most of its bytes with its
+// previous version — exactly the cross-generation redundancy structure that
+// drives deduplication, without shipping the authors' private datasets.
+//
+// Everything is reproducible: the same master seed yields bit-identical
+// backup streams on every platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace defrag::workload {
+
+/// Content classes an extent can materialize as.
+///  kRandom  full-entropy bytes (binaries, media, already-compressed data)
+///  kText    low-entropy bytes: a seeded 256-byte phrase tiled with sparse
+///           position-dependent edits — compresses well under LZ, like
+///           source trees and documents do.
+enum class ExtentKind : std::uint8_t { kRandom, kText };
+
+struct Extent {
+  std::uint64_t seed = 0;
+  std::uint32_t size = 0;
+  ExtentKind kind = ExtentKind::kRandom;
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// Materialize one extent's bytes, appending to `out`.
+void materialize_extent(const Extent& extent, Bytes& out);
+
+/// Total size of an extent list.
+std::uint64_t extents_bytes(const std::vector<Extent>& extents);
+
+/// Materialize a whole extent list.
+Bytes materialize(const std::vector<Extent>& extents);
+
+}  // namespace defrag::workload

@@ -1,0 +1,171 @@
+#include "workload/fs_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace defrag::workload {
+
+namespace {
+/// Draw a file size around the mean with a heavy-ish tail (log-uniform over
+/// [mean/8, mean*8]); real file-size distributions are heavy-tailed and the
+/// tail is what creates multi-segment files.
+std::uint64_t draw_file_size(Xoshiro256& rng, std::uint64_t mean) {
+  const double lo = std::log(static_cast<double>(std::max<std::uint64_t>(mean / 8, 4096)));
+  const double hi = std::log(static_cast<double>(mean * 8));
+  const double v = std::exp(lo + (hi - lo) * rng.unit());
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint32_t draw_extent_size(Xoshiro256& rng, std::uint32_t mean) {
+  // Uniform in [mean/2, 3*mean/2): enough variance to desynchronize extent
+  // boundaries from chunk boundaries.
+  return mean / 2 + static_cast<std::uint32_t>(rng.below(mean));
+}
+}  // namespace
+
+ExtentKind FileSystemModel::draw_kind(Xoshiro256& rng) const {
+  return rng.unit() < params_.text_fraction ? ExtentKind::kText
+                                            : ExtentKind::kRandom;
+}
+
+FileSystemModel::FileSystemModel(std::uint64_t seed, const FsParams& params)
+    : seed_(seed), params_(params) {
+  DEFRAG_CHECK(params_.initial_files > 0);
+  files_.reserve(params_.initial_files);
+  for (std::uint32_t i = 0; i < params_.initial_files; ++i) {
+    files_.push_back(make_file(next_content_stream_++));
+  }
+}
+
+FileState FileSystemModel::make_file(std::uint64_t rng_stream) {
+  Xoshiro256 rng(derive_seed(seed_, 0x10000000ull + rng_stream));
+  FileState f;
+  f.file_id = next_file_id_++;
+  f.path = "/user/data/file_" + std::to_string(f.file_id);
+
+  const std::uint64_t target = draw_file_size(rng, params_.mean_file_bytes);
+  std::uint64_t built = 0;
+  while (built < target) {
+    const std::uint32_t size = std::min<std::uint32_t>(
+        draw_extent_size(rng, params_.mean_extent_bytes),
+        static_cast<std::uint32_t>(target - built));
+    f.extents.push_back(
+        Extent{derive_seed(seed_, 0x20000000ull + next_content_stream_++),
+               std::max<std::uint32_t>(size, 512), draw_kind(rng)});
+    built += f.extents.back().size;
+  }
+  return f;
+}
+
+void FileSystemModel::mutate_file(FileState& file, std::uint64_t rng_stream) {
+  Xoshiro256 rng(derive_seed(seed_, 0x30000000ull + rng_stream));
+  const auto& m = params_.mutation;
+
+  std::vector<Extent> next;
+  next.reserve(file.extents.size() + 2);
+  for (const Extent& e : file.extents) {
+    const double roll = rng.unit();
+    if (roll < m.extent_delete_prob) {
+      continue;  // drop: shifts the rest of the file
+    }
+    if (roll < m.extent_delete_prob + m.extent_insert_prob) {
+      next.push_back(
+          Extent{derive_seed(seed_, 0x40000000ull + next_content_stream_++),
+                 draw_extent_size(rng, params_.mean_extent_bytes),
+                 draw_kind(rng)});
+      next.push_back(e);
+      continue;
+    }
+    if (roll < m.extent_delete_prob + m.extent_insert_prob + m.extent_replace_prob) {
+      next.push_back(
+          Extent{derive_seed(seed_, 0x50000000ull + next_content_stream_++),
+                 e.size, e.kind});  // in-place overwrite, no shift
+      continue;
+    }
+    next.push_back(e);
+  }
+  if (next.empty()) {
+    // Never leave a file empty; re-create one extent.
+    next.push_back(
+        Extent{derive_seed(seed_, 0x60000000ull + next_content_stream_++),
+               draw_extent_size(rng, params_.mean_extent_bytes),
+               draw_kind(rng)});
+  }
+  file.extents = std::move(next);
+}
+
+void FileSystemModel::mutate(bool fresh_epoch) {
+  ++generation_;
+  Xoshiro256 rng(derive_seed(seed_, 0x70000000ull + generation_));
+  const auto& m = params_.mutation;
+
+  // File deletions.
+  std::erase_if(files_, [&](const FileState&) {
+    return files_.size() > 1 && rng.unit() < m.file_delete_rate;
+  });
+
+  // Edits.
+  for (auto& f : files_) {
+    if (rng.unit() < m.file_modify_prob) {
+      mutate_file(f, generation_ * 1000003ull + f.file_id);
+    }
+  }
+
+  // File creations.
+  const auto creations = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(files_.size()) * m.file_create_rate));
+  for (std::size_t i = 0; i < creations; ++i) {
+    files_.push_back(make_file(next_content_stream_++));
+  }
+
+  if (fresh_epoch) {
+    // A new project lands: a burst of brand-new files worth a substantial
+    // fraction of the current data set.
+    const auto target =
+        static_cast<std::uint64_t>(static_cast<double>(logical_bytes()) *
+                                   m.fresh_bytes_fraction);
+    std::uint64_t added = 0;
+    while (added < target) {
+      files_.push_back(make_file(next_content_stream_++));
+      added += files_.back().size();
+    }
+  }
+
+  std::sort(files_.begin(), files_.end(),
+            [](const FileState& a, const FileState& b) {
+              return a.file_id < b.file_id;
+            });
+}
+
+Bytes FileSystemModel::materialize_stream() const {
+  Bytes out;
+  out.reserve(logical_bytes());
+  for (const auto& f : files_) {
+    for (const auto& e : f.extents) materialize_extent(e, out);
+  }
+  return out;
+}
+
+std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>>
+FileSystemModel::file_table() const {
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>> out;
+  out.reserve(files_.size());
+  std::uint64_t offset = 0;
+  for (const auto& f : files_) {
+    const std::uint64_t size = f.size();
+    out.emplace_back(f.path, offset, size);
+    offset += size;
+  }
+  return out;
+}
+
+std::uint64_t FileSystemModel::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files_) total += f.size();
+  return total;
+}
+
+}  // namespace defrag::workload

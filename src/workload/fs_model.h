@@ -1,0 +1,89 @@
+// An evolving synthetic file system: the unit a "user" backs up every
+// generation.
+//
+// Generation 0 is created from the master seed; each mutate() call evolves
+// the file set the way a working file system does between backups — a
+// fraction of files get localized edits (extent replacement), some get
+// inserts/deletes (which shift content and exercise CDC resynchronization),
+// files are created and deleted, and occasionally a "fresh epoch" dumps a
+// batch of brand-new data (a new project landing on disk). Fresh epochs
+// reproduce the paper's generations 41-42, where the backup stream has very
+// good spatial locality because most of it is new, sequentially-placed data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "workload/content.h"
+
+namespace defrag::workload {
+
+struct MutationParams {
+  double file_modify_prob = 0.25;    // fraction of files edited per generation
+  double extent_replace_prob = 0.12; // per-extent in-place overwrite
+  double extent_insert_prob = 0.02;  // per-extent insertion (shifts content)
+  double extent_delete_prob = 0.02;  // per-extent deletion (shifts content)
+  double file_create_rate = 0.02;    // new files per existing file
+  double file_delete_rate = 0.01;    // deletions per existing file
+  double fresh_bytes_fraction = 0.6; // fresh-epoch new data vs current size
+};
+
+struct FsParams {
+  std::uint32_t initial_files = 64;
+  std::uint64_t mean_file_bytes = 1 << 20;  // ~1 MiB files
+  std::uint32_t mean_extent_bytes = 32 * 1024;
+  /// Fraction of extents materialized as low-entropy "text" (LZ-friendly);
+  /// the rest is full-entropy. 0 keeps all content incompressible.
+  double text_fraction = 0.0;
+  MutationParams mutation;
+};
+
+struct FileState {
+  std::uint64_t file_id = 0;
+  std::string path;
+  std::vector<Extent> extents;
+
+  std::uint64_t size() const { return extents_bytes(extents); }
+};
+
+class FileSystemModel {
+ public:
+  /// Build generation 0 deterministically from (seed, params).
+  FileSystemModel(std::uint64_t seed, const FsParams& params);
+
+  /// Advance one generation. `fresh_epoch` injects a large batch of new
+  /// files in addition to the regular churn.
+  void mutate(bool fresh_epoch = false);
+
+  /// Concatenated backup stream of the current generation, in stable
+  /// (file_id) order — the byte stream handed to the dedup engines.
+  Bytes materialize_stream() const;
+
+  /// (path, stream offset, size) of every file in materialize_stream()
+  /// order — the backup's file table.
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>>
+  file_table() const;
+
+  std::uint64_t logical_bytes() const;
+  std::size_t file_count() const { return files_.size(); }
+  std::uint32_t generation() const { return generation_; }
+  const std::vector<FileState>& files() const { return files_; }
+
+ private:
+  FileState make_file(std::uint64_t rng_stream);
+  void mutate_file(FileState& file, std::uint64_t rng_stream);
+  ExtentKind draw_kind(Xoshiro256& rng) const;
+
+  std::uint64_t seed_;
+  FsParams params_;
+  std::uint32_t generation_ = 0;
+  std::uint64_t next_file_id_ = 0;
+  std::uint64_t next_content_stream_ = 0;  // monotone source of fresh seeds
+  std::vector<FileState> files_;
+};
+
+}  // namespace defrag::workload

@@ -1,0 +1,116 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace defrag::workload {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'F', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kBackupMarker = 0xFFFFFFFFu;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+std::uint64_t TraceBackup::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : chunks) total += c.size;
+  return total;
+}
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(out) {
+  out_.write(kMagic, sizeof(kMagic));
+  write_pod(out_, kVersion);
+}
+
+void TraceWriter::write(const TraceBackup& backup) {
+  write_pod(out_, kBackupMarker);
+  write_pod(out_, backup.generation);
+  write_pod(out_, backup.user);
+  write_pod(out_, static_cast<std::uint64_t>(backup.chunks.size()));
+  for (const StreamChunk& c : backup.chunks) {
+    out_.write(reinterpret_cast<const char*>(c.fp.bytes.data()),
+               static_cast<std::streamsize>(c.fp.bytes.size()));
+    write_pod(out_, c.size);
+  }
+  ++backups_;
+  DEFRAG_CHECK_MSG(static_cast<bool>(out_), "trace write failed");
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(in) {
+  char magic[4];
+  in_.read(magic, sizeof(magic));
+  DEFRAG_CHECK_MSG(static_cast<bool>(in_) &&
+                       std::equal(magic, magic + 4, kMagic),
+                   "not a DFTR trace file");
+  std::uint32_t version = 0;
+  DEFRAG_CHECK_MSG(read_pod(in_, &version) && version == kVersion,
+                   "unsupported trace version");
+}
+
+std::optional<TraceBackup> TraceReader::next() {
+  std::uint32_t marker = 0;
+  if (!read_pod(in_, &marker)) return std::nullopt;  // clean EOF
+  DEFRAG_CHECK_MSG(marker == kBackupMarker, "corrupt trace: bad marker");
+
+  TraceBackup backup;
+  std::uint64_t count = 0;
+  DEFRAG_CHECK_MSG(read_pod(in_, &backup.generation) &&
+                       read_pod(in_, &backup.user) && read_pod(in_, &count),
+                   "corrupt trace: truncated backup header");
+
+  backup.chunks.resize(count);
+  std::uint64_t offset = 0;
+  for (auto& c : backup.chunks) {
+    in_.read(reinterpret_cast<char*>(c.fp.bytes.data()),
+             static_cast<std::streamsize>(c.fp.bytes.size()));
+    DEFRAG_CHECK_MSG(read_pod(in_, &c.size),
+                     "corrupt trace: truncated chunk record");
+    c.stream_offset = offset;
+    offset += c.size;
+  }
+  return backup;
+}
+
+TraceStats analyze_trace(std::istream& in) {
+  TraceReader reader(in);
+  TraceStats stats;
+  std::unordered_set<Fingerprint> seen;
+
+  while (auto backup = reader.next()) {
+    ++stats.backups;
+    std::uint64_t gen_bytes = 0;
+    std::uint64_t gen_dup_bytes = 0;
+    for (const StreamChunk& c : backup->chunks) {
+      ++stats.chunks;
+      stats.logical_bytes += c.size;
+      gen_bytes += c.size;
+      if (seen.insert(c.fp).second) {
+        ++stats.unique_chunks;
+        stats.unique_bytes += c.size;
+      } else {
+        gen_dup_bytes += c.size;
+      }
+    }
+    stats.generation_redundancy.push_back(
+        gen_bytes == 0 ? 0.0
+                       : static_cast<double>(gen_dup_bytes) /
+                             static_cast<double>(gen_bytes));
+  }
+  return stats;
+}
+
+}  // namespace defrag::workload

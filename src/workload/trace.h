@@ -1,0 +1,82 @@
+// Chunk-fingerprint traces: the interchange format of the dedup community.
+//
+// A trace records, per backup generation, the ordered (fingerprint, size)
+// sequence of its chunks — everything dedup research needs except the bytes
+// themselves (FSL/SNIA publish datasets in exactly this shape). This module
+// writes and reads a compact binary trace format and computes the standard
+// whole-trace statistics, so experiments can be archived, shared, and
+// re-analyzed without regenerating content.
+//
+// Binary format (little-endian):
+//   file   := magic "DFTR" | u32 version | backup*
+//   backup := u32 0xFFFFFFFF | u32 generation | u32 user | u64 chunk_count
+//             | chunk_count * (20-byte fp | u32 size)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "chunking/segmenter.h"
+#include "common/fingerprint.h"
+
+namespace defrag::workload {
+
+struct TraceBackup {
+  std::uint32_t generation = 0;
+  std::uint32_t user = 0;
+  std::vector<StreamChunk> chunks;  // stream_offset reconstructed on read
+
+  std::uint64_t logical_bytes() const;
+};
+
+class TraceWriter {
+ public:
+  /// Writes the file header immediately. The stream must outlive the writer.
+  explicit TraceWriter(std::ostream& out);
+
+  /// Append one backup's chunk sequence.
+  void write(const TraceBackup& backup);
+
+  std::uint64_t backups_written() const { return backups_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t backups_ = 0;
+};
+
+class TraceReader {
+ public:
+  /// Validates the header; throws CheckFailure on a malformed file.
+  explicit TraceReader(std::istream& in);
+
+  /// Next backup, or nullopt at end of file.
+  std::optional<TraceBackup> next();
+
+ private:
+  std::istream& in_;
+};
+
+/// Whole-trace statistics (what a deduplication estimator reports).
+struct TraceStats {
+  std::uint64_t backups = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t unique_bytes = 0;
+  /// Per-generation redundancy fraction (bytes duplicate / bytes total).
+  std::vector<double> generation_redundancy;
+
+  double dedup_ratio() const {
+    return unique_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(unique_bytes);
+  }
+};
+
+/// Single-pass analysis of a trace stream.
+TraceStats analyze_trace(std::istream& in);
+
+}  // namespace defrag::workload

@@ -1,0 +1,93 @@
+// Parameterized sweep over ChunkerParams: the CDC invariants must hold for
+// every (min, avg, max) configuration a user might pick, not just the
+// defaults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "chunking/chunker.h"
+#include "common/stats.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+struct SweepCase {
+  std::uint32_t min;
+  std::uint32_t avg;
+  std::uint32_t max;
+};
+
+using Param = std::tuple<ChunkerKind, SweepCase>;
+
+class ChunkerParamSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  ChunkerParams params() const {
+    const SweepCase& c = std::get<1>(GetParam());
+    return ChunkerParams{c.min, c.avg, c.max};
+  }
+  std::unique_ptr<Chunker> chunker() const {
+    return make_chunker(std::get<0>(GetParam()), params());
+  }
+};
+
+TEST_P(ChunkerParamSweep, BoundsHoldOnRandomData) {
+  const auto p = params();
+  const auto c = chunker();
+  const Bytes data = testing::random_bytes(4 << 20, 1000);
+  const auto chunks = c->split(data);
+  ASSERT_FALSE(chunks.empty());
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].size, std::min(p.min_size, p.max_size)) << "non-tail chunk";
+    EXPECT_LE(chunks[i].size, p.max_size);
+  }
+  EXPECT_LE(chunks.back().size, p.max_size);
+}
+
+TEST_P(ChunkerParamSweep, MeanWithinSaneBand) {
+  const auto p = params();
+  if (std::get<0>(GetParam()) == ChunkerKind::kFixed) GTEST_SKIP();
+  const auto c = chunker();
+  const Bytes data = testing::random_bytes(8 << 20, 1001);
+  const auto chunks = c->split(data);
+  const double mean = static_cast<double>(data.size()) /
+                      static_cast<double>(chunks.size());
+  // CDC with a min-size floor lands between min and ~min+2*avg.
+  EXPECT_GE(mean, static_cast<double>(p.min_size));
+  EXPECT_LE(mean, static_cast<double>(p.min_size) + 2.5 * p.avg_size);
+}
+
+TEST_P(ChunkerParamSweep, CoverageAndDeterminism) {
+  const auto c = chunker();
+  const Bytes data = testing::random_bytes(1 << 20, 1002);
+  const auto a = c->split(data);
+  const auto b = c->split(data);
+  EXPECT_EQ(a, b);
+  std::uint64_t covered = 0;
+  for (const auto& r : a) covered += r.size;
+  EXPECT_EQ(covered, data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkerParamSweep,
+    ::testing::Combine(
+        ::testing::Values(ChunkerKind::kRabin, ChunkerKind::kGear,
+                          ChunkerKind::kFixed),
+        ::testing::Values(SweepCase{512, 2048, 8192},
+                          SweepCase{2048, 8192, 65536},
+                          SweepCase{4096, 16384, 131072},
+                          SweepCase{1024, 1024, 1024})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case ChunkerKind::kRabin: name = "rabin"; break;
+        case ChunkerKind::kGear: name = "gear"; break;
+        case ChunkerKind::kFixed: name = "fixed"; break;
+      }
+      const SweepCase& c = std::get<1>(info.param);
+      return name + "_" + std::to_string(c.min) + "_" + std::to_string(c.avg) +
+             "_" + std::to_string(c.max);
+    });
+
+}  // namespace
+}  // namespace defrag

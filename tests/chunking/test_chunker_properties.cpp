@@ -1,0 +1,95 @@
+// Property suite run against every chunker implementation via the factory:
+// these are the invariants DESIGN.md §6 items 3-4 promise for all of them.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "chunking/chunker.h"
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+using Param = std::tuple<ChunkerKind, std::size_t /*data size*/,
+                         std::uint64_t /*seed*/>;
+
+class ChunkerPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<Chunker> chunker_ = make_chunker(std::get<0>(GetParam()));
+  Bytes data_ = testing::random_bytes(std::get<1>(GetParam()),
+                                      std::get<2>(GetParam()));
+};
+
+TEST_P(ChunkerPropertyTest, ChunksTileTheInput) {
+  const auto chunks = chunker_->split(data_);
+  std::uint64_t pos = 0;
+  for (const auto& c : chunks) {
+    ASSERT_EQ(c.offset, pos);
+    ASSERT_GT(c.size, 0u);
+    pos += c.size;
+  }
+  EXPECT_EQ(pos, data_.size());
+  EXPECT_EQ(chunks.empty(), data_.empty());
+}
+
+TEST_P(ChunkerPropertyTest, SplitIsDeterministic) {
+  EXPECT_EQ(chunker_->split(data_), chunker_->split(data_));
+}
+
+TEST_P(ChunkerPropertyTest, NonTailChunksRespectMax) {
+  const ChunkerParams defaults{};
+  for (const auto& c : chunker_->split(data_)) {
+    EXPECT_LE(c.size, defaults.max_size);
+  }
+}
+
+TEST_P(ChunkerPropertyTest, SplitOfConcatenationStartsIdentically) {
+  // Chunking is prefix-stable: the first boundaries of `data` and of
+  // `data || extra` agree until near the junction.
+  if (data_.size() < (64u << 10)) GTEST_SKIP();
+  Bytes extended = data_;
+  const Bytes extra = testing::random_bytes(64 << 10, 999);
+  extended.insert(extended.end(), extra.begin(), extra.end());
+
+  const auto a = chunker_->split(data_);
+  const auto b = chunker_->split(extended);
+  // All but the final chunk of `a` must reappear verbatim at the head of b.
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    ASSERT_LT(i, b.size());
+    EXPECT_EQ(a[i], b[i]) << "prefix stability broken at chunk " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChunkers, ChunkerPropertyTest,
+    ::testing::Combine(::testing::Values(ChunkerKind::kRabin,
+                                         ChunkerKind::kGear,
+                                         ChunkerKind::kFixed),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{4096},
+                                         std::size_t{1} << 20),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{77})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case ChunkerKind::kRabin: name = "rabin"; break;
+        case ChunkerKind::kGear: name = "gear"; break;
+        case ChunkerKind::kFixed: name = "fixed"; break;
+      }
+      return name + "_" + std::to_string(std::get<1>(info.param)) + "b_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ChunkerParamsTest, ValidateRejectsBadBounds) {
+  ChunkerParams p;
+  p.min_size = 0;
+  EXPECT_THROW(p.validate(), CheckFailure);
+  p = ChunkerParams{.min_size = 8192, .avg_size = 4096, .max_size = 65536};
+  EXPECT_THROW(p.validate(), CheckFailure);
+  p = ChunkerParams{.min_size = 1024, .avg_size = 5000, .max_size = 65536};
+  EXPECT_THROW(p.validate(), CheckFailure);  // avg not a power of two
+}
+
+}  // namespace
+}  // namespace defrag

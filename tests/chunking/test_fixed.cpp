@@ -1,0 +1,53 @@
+#include "chunking/fixed.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+TEST(FixedTest, ExactSizesExceptTail) {
+  ChunkerParams p{.min_size = 4096, .avg_size = 4096, .max_size = 4096};
+  FixedChunker chunker(p);
+  const Bytes data = testing::random_bytes(4096 * 3 + 100, 20);
+  const auto chunks = chunker.split(data);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(chunks[static_cast<std::size_t>(i)].size, 4096u);
+  }
+  EXPECT_EQ(chunks[3].size, 100u);
+}
+
+TEST(FixedTest, ExactMultipleHasNoTail) {
+  ChunkerParams p{.min_size = 1024, .avg_size = 1024, .max_size = 1024};
+  FixedChunker chunker(p);
+  const Bytes data = testing::random_bytes(1024 * 5, 21);
+  EXPECT_EQ(chunker.split(data).size(), 5u);
+}
+
+TEST(FixedTest, EmptyInput) {
+  FixedChunker chunker;
+  EXPECT_TRUE(chunker.split({}).empty());
+}
+
+TEST(FixedTest, DoesNotResyncAfterInsert) {
+  // The motivating defect of fixed-size chunking: a one-byte prefix insert
+  // desynchronizes every boundary.
+  ChunkerParams p{.min_size = 4096, .avg_size = 4096, .max_size = 4096};
+  FixedChunker chunker(p);
+  const Bytes data = testing::random_bytes(1 << 20, 22);
+  Bytes shifted;
+  shifted.push_back(0x42);
+  shifted.insert(shifted.end(), data.begin(), data.end());
+
+  const auto a = chunker.split(data);
+  const auto b = chunker.split(shifted);
+  // Same boundaries in absolute position, hence all shifted relative to the
+  // content: no chunk content (except possibly tails) can match.
+  EXPECT_EQ(a[0].offset, b[0].offset);
+  EXPECT_EQ(a[0].size, b[0].size);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,87 @@
+#include "chunking/gear.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+TEST(GearTest, TableIsStable) {
+  const auto& t1 = GearChunker::table();
+  const auto& t2 = GearChunker::table();
+  EXPECT_EQ(&t1, &t2);
+  // Spot-check the table is non-trivial and deterministic across runs of the
+  // generator algorithm (fixed seed).
+  std::set<std::uint64_t> distinct(t1.begin(), t1.end());
+  EXPECT_GT(distinct.size(), 250u);
+}
+
+TEST(GearTest, CoversWholeBuffer) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(1 << 20, 10);
+  const auto chunks = chunker.split(data);
+  std::uint64_t pos = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, pos);
+    pos += c.size;
+  }
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST(GearTest, RespectsBounds) {
+  ChunkerParams p{.min_size = 1024, .avg_size = 8192, .max_size = 32768};
+  GearChunker chunker(p);
+  const Bytes data = testing::random_bytes(4 << 20, 11);
+  const auto chunks = chunker.split(data);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].size, p.min_size);
+    EXPECT_LE(chunks[i].size, p.max_size);
+  }
+}
+
+TEST(GearTest, NormalizedTightensDistribution) {
+  ChunkerParams p{.min_size = 2048, .avg_size = 8192, .max_size = 65536};
+  GearChunker normalized(p, /*normalized=*/true);
+  GearChunker plain(p, /*normalized=*/false);
+  const Bytes data = testing::random_bytes(16 << 20, 12);
+
+  auto spread = [](const std::vector<ChunkRef>& chunks) {
+    RunningStats s;
+    for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+      s.add(static_cast<double>(chunks[i].size));
+    }
+    return s.stddev() / s.mean();  // coefficient of variation
+  };
+
+  EXPECT_LT(spread(normalized.split(data)), spread(plain.split(data)));
+}
+
+TEST(GearTest, ResynchronizesAfterEdit) {
+  GearChunker chunker;
+  Bytes data = testing::random_bytes(1 << 20, 13);
+  Bytes edited = data;
+  // Overwrite 1 KiB in the middle: boundaries outside the edit region and
+  // its following window must survive.
+  for (std::size_t i = 500000; i < 501024; ++i) edited[i] ^= 0x5a;
+
+  std::set<std::uint64_t> ends_a, ends_b;
+  for (const auto& c : chunker.split(data)) ends_a.insert(c.offset + c.size);
+  for (const auto& c : chunker.split(edited)) ends_b.insert(c.offset + c.size);
+
+  std::size_t common = 0;
+  for (auto e : ends_a) common += ends_b.contains(e);
+  EXPECT_GT(static_cast<double>(common) / static_cast<double>(ends_a.size()),
+            0.95);
+}
+
+TEST(GearTest, NameReflectsMode) {
+  EXPECT_EQ(GearChunker({}, true).name(), "gear-nc2");
+  EXPECT_EQ(GearChunker({}, false).name(), "gear");
+}
+
+}  // namespace
+}  // namespace defrag

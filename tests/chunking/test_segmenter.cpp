@@ -1,0 +1,105 @@
+#include "chunking/segmenter.h"
+
+#include <gtest/gtest.h>
+
+#include "chunking/gear.h"
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+std::vector<StreamChunk> make_stream_chunks(const Bytes& data) {
+  GearChunker chunker;
+  std::vector<StreamChunk> out;
+  for (const auto& r : chunker.split(data)) {
+    out.push_back(StreamChunk{
+        Fingerprint::of(ByteView{data.data() + r.offset, r.size}), r.offset,
+        r.size});
+  }
+  return out;
+}
+
+TEST(SegmenterTest, SegmentsTileTheChunkVector) {
+  const Bytes data = testing::random_bytes(8 << 20, 30);
+  const auto chunks = make_stream_chunks(data);
+  Segmenter seg;
+  const auto segments = seg.segment(chunks);
+
+  ASSERT_FALSE(segments.empty());
+  std::size_t pos = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& s : segments) {
+    EXPECT_EQ(s.first, pos);
+    EXPECT_GT(s.chunk_count(), 0u);
+    pos = s.last;
+    bytes += s.bytes;
+  }
+  EXPECT_EQ(pos, chunks.size());
+  EXPECT_EQ(bytes, data.size());
+}
+
+TEST(SegmenterTest, SegmentSizesWithinPaperBounds) {
+  const Bytes data = testing::random_bytes(16 << 20, 31);
+  const auto chunks = make_stream_chunks(data);
+  const SegmenterParams p{};  // paper defaults: 0.5-2 MB
+  Segmenter seg(p);
+  const auto segments = seg.segment(chunks);
+
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    EXPECT_GE(segments[i].bytes, p.min_bytes);
+    // Chunks are atomic, so the max may overshoot by at most one max chunk.
+    EXPECT_LE(segments[i].bytes, p.max_bytes + ChunkerParams{}.max_size);
+  }
+}
+
+TEST(SegmenterTest, Deterministic) {
+  const Bytes data = testing::random_bytes(4 << 20, 32);
+  const auto chunks = make_stream_chunks(data);
+  Segmenter seg;
+  EXPECT_EQ(seg.segment(chunks), seg.segment(chunks));
+}
+
+TEST(SegmenterTest, BoundariesAreContentDefined) {
+  // Append more chunks: existing segment boundaries (except the last open
+  // one) must not move.
+  const Bytes data = testing::random_bytes(8 << 20, 33);
+  const auto chunks = make_stream_chunks(data);
+  auto head = chunks;
+  head.resize(chunks.size() / 2);
+
+  Segmenter seg;
+  const auto full = seg.segment(chunks);
+  const auto half = seg.segment(head);
+
+  for (std::size_t i = 0; i + 1 < half.size(); ++i) {
+    ASSERT_LT(i, full.size());
+    EXPECT_EQ(half[i], full[i]);
+  }
+}
+
+TEST(SegmenterTest, EmptyInput) {
+  Segmenter seg;
+  EXPECT_TRUE(seg.segment({}).empty());
+}
+
+TEST(SegmenterTest, SingleChunk) {
+  const Bytes data = testing::random_bytes(4096, 34);
+  const auto chunks = make_stream_chunks(data);
+  Segmenter seg;
+  const auto segments = seg.segment(chunks);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].chunk_count(), chunks.size());
+}
+
+TEST(SegmenterTest, ParamsValidation) {
+  SegmenterParams p;
+  p.min_bytes = 0;
+  EXPECT_THROW(p.validate(), CheckFailure);
+  p = SegmenterParams{.min_bytes = 4096, .target_bytes = 2048,
+                      .max_bytes = 8192};
+  EXPECT_THROW(p.validate(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

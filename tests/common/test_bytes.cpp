@@ -1,0 +1,48 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace defrag {
+namespace {
+
+TEST(BytesTest, ToHexEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(BytesTest, ToHexKnownValues) {
+  const Bytes data = {0x00, 0x01, 0x0f, 0x10, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "00010f10abff");
+}
+
+TEST(BytesTest, FromHexRoundTrip) {
+  const Bytes data = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(BytesTest, FromHexAcceptsUppercase) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, AsBytesViewsStringWithoutCopy) {
+  const std::string s = "hello";
+  const ByteView v = as_bytes(s);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 'h');
+  EXPECT_EQ(static_cast<const void*>(v.data()),
+            static_cast<const void*>(s.data()));
+}
+
+TEST(BytesTest, ToBytesCopies) {
+  const std::string s = "abc";
+  const Bytes b = to_bytes(as_bytes(s));
+  EXPECT_EQ(b, (Bytes{'a', 'b', 'c'}));
+}
+
+}  // namespace
+}  // namespace defrag

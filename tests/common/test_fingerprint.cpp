@@ -1,0 +1,70 @@
+#include "common/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+TEST(FingerprintTest, EqualContentEqualFingerprint) {
+  const Bytes a = testing::random_bytes(1000, 500);
+  const Bytes b = a;
+  EXPECT_EQ(Fingerprint::of(a), Fingerprint::of(b));
+}
+
+TEST(FingerprintTest, DifferentContentDifferentFingerprint) {
+  Bytes a = testing::random_bytes(1000, 501);
+  Bytes b = a;
+  b[500] ^= 1;
+  EXPECT_NE(Fingerprint::of(a), Fingerprint::of(b));
+}
+
+TEST(FingerprintTest, OrderingIsTotal) {
+  const Fingerprint a = Fingerprint::of(testing::random_bytes(10, 502));
+  const Fingerprint b = Fingerprint::of(testing::random_bytes(10, 503));
+  EXPECT_TRUE((a < b) || (b < a) || (a == b));
+  EXPECT_EQ(a < b, !(b <= a));
+}
+
+TEST(FingerprintTest, WorksAsHashMapKey) {
+  std::unordered_set<Fingerprint> set;
+  for (int i = 0; i < 1000; ++i) {
+    set.insert(Fingerprint::of(testing::random_bytes(16, 504 + static_cast<std::uint64_t>(i))));
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(FingerprintTest, WorksAsOrderedKey) {
+  std::set<Fingerprint> set;
+  for (int i = 0; i < 100; ++i) {
+    set.insert(Fingerprint::of(testing::random_bytes(16, 604 + static_cast<std::uint64_t>(i))));
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(FingerprintTest, Prefix64IsStable) {
+  const Fingerprint fp = Fingerprint::of(testing::random_bytes(64, 505));
+  EXPECT_EQ(fp.prefix64(), fp.prefix64());
+  Fingerprint copy = fp;
+  EXPECT_EQ(copy.prefix64(), fp.prefix64());
+}
+
+TEST(FingerprintTest, HexIs40Chars) {
+  const Fingerprint fp = Fingerprint::of(testing::random_bytes(8, 506));
+  EXPECT_EQ(fp.hex().size(), 40u);
+  // Round-trips through from_hex.
+  const Bytes raw = from_hex(fp.hex());
+  EXPECT_TRUE(std::equal(raw.begin(), raw.end(), fp.bytes.begin()));
+}
+
+TEST(FingerprintTest, DefaultIsZero) {
+  Fingerprint fp;
+  for (auto b : fp.bytes) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace defrag

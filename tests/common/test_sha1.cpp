@@ -1,0 +1,80 @@
+#include "common/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace defrag {
+namespace {
+
+std::string sha1_hex(const std::string& input) {
+  const auto d = Sha1::hash(as_bytes(input));
+  return to_hex(ByteView{d.data(), d.size()});
+}
+
+// FIPS 180-1 / RFC 3174 official test vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  const std::string a(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(a));
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(ByteView{d.data(), d.size()}),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and with "
+      "great determination, across byte boundaries of every kind.";
+  const auto one_shot = Sha1::hash(as_bytes(msg));
+
+  // Split at every possible position: exercises all buffer-boundary paths.
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.update(as_bytes(msg).subspan(0, split));
+    h.update(as_bytes(msg).subspan(split));
+    EXPECT_EQ(h.finish(), one_shot) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 h;
+  h.update(as_bytes(std::string("garbage")));
+  (void)h.finish();
+  h.reset();
+  h.update(as_bytes(std::string("abc")));
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(ByteView{d.data(), d.size()}),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, LengthsAroundBlockBoundary) {
+  // 55, 56, 57, 63, 64, 65 bytes hit the padding edge cases.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string m(len, 'x');
+    Sha1 a;
+    a.update(as_bytes(m));
+    Sha1 b;
+    for (char c : m) {
+      const auto byte = static_cast<std::uint8_t>(c);
+      b.update(ByteView{&byte, 1});
+    }
+    EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace defrag

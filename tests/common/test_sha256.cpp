@@ -1,0 +1,57 @@
+#include "common/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace defrag {
+namespace {
+
+std::string sha256_hex(const std::string& input) {
+  const auto d = Sha256::hash(as_bytes(input));
+  return to_hex(ByteView{d.data(), d.size()});
+}
+
+// FIPS 180-4 official test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string a(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(a));
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(ByteView{d.data(), d.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg(300, 'q');
+  const auto one_shot = Sha256::hash(as_bytes(msg));
+  for (std::size_t split : {0u, 1u, 63u, 64u, 65u, 128u, 299u, 300u}) {
+    Sha256 h;
+    h.update(as_bytes(msg).subspan(0, split));
+    h.update(as_bytes(msg).subspan(split));
+    EXPECT_EQ(h.finish(), one_shot) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash(as_bytes(std::string("a"))),
+            Sha256::hash(as_bytes(std::string("b"))));
+}
+
+}  // namespace
+}  // namespace defrag

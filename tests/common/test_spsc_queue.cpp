@@ -1,0 +1,72 @@
+#include "common/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace defrag {
+namespace {
+
+TEST(SpscQueueTest, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(SpscQueue<int>(3), CheckFailure);
+  EXPECT_THROW(SpscQueue<int>(0), CheckFailure);
+  EXPECT_THROW(SpscQueue<int>(1), CheckFailure);
+}
+
+TEST(SpscQueueTest, PushPopSingleThread) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(SpscQueueTest, FullQueueRejectsPush) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.try_pop(), 0);
+  EXPECT_TRUE(q.try_push(99));  // space freed
+}
+
+TEST(SpscQueueTest, WrapsAroundManyTimes) {
+  SpscQueue<int> q(4);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.try_push(round * 10 + i));
+    for (int i = 0; i < 3; ++i) ASSERT_EQ(q.try_pop(), round * 10 + i);
+  }
+}
+
+TEST(SpscQueueTest, MovesNonCopyableValues) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(42)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(SpscQueueTest, ConcurrentTransferPreservesOrderAndSum) {
+  constexpr int kItems = 200000;
+  SpscQueue<int> q(1024);
+  std::vector<int> received;
+  received.reserve(kItems);
+
+  std::thread consumer([&] {
+    while (received.size() < kItems) {
+      if (auto v = q.try_pop()) received.push_back(*v);
+    }
+  });
+  for (int i = 0; i < kItems; ++i) q.push(i);
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], i) << "FIFO order broken";
+  }
+}
+
+}  // namespace
+}  // namespace defrag

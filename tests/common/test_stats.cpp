@@ -1,0 +1,99 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace defrag {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 3.0;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Log2HistogramTest, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.add(1);     // bucket 0
+  h.add(2);     // bucket 1
+  h.add(3);     // bucket 1
+  h.add(1024);  // bucket 10
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Log2HistogramTest, ZeroGoesToBucketZero) {
+  Log2Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Log2HistogramTest, QuantileApproximatesMedian) {
+  Log2Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(8192);  // all in [2^13, 2^14)
+  const double med = h.quantile(0.5);
+  EXPECT_GE(med, 8192.0);
+  EXPECT_LE(med, 16384.0);
+}
+
+TEST(PercentileTest, ExactValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenValues) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace defrag

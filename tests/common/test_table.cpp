@@ -1,0 +1,39 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace defrag {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"gen", "throughput"});
+  t.add_row({"1", "213.00"});
+  t.add_row({"20", "110.00"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("gen  throughput"), std::string::npos);
+  EXPECT_NE(s.find("1    213.00"), std::string::npos);
+  EXPECT_NE(s.find("20   110.00"), std::string::npos);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::integer(1234), "1234");
+  EXPECT_EQ(Table::integer(-5), "-5");
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,35 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace defrag {
+namespace {
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4_MiB, 4u * 1024 * 1024);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(4_MiB), "4.00 MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(format_seconds(0.0125), "12.500 ms");
+  EXPECT_EQ(format_seconds(0.000002), "2.000 us");
+}
+
+TEST(UnitsTest, MbPerSec) {
+  EXPECT_DOUBLE_EQ(mb_per_sec(100'000'000, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(mb_per_sec(100'000'000, 2.0), 50.0);
+  EXPECT_DOUBLE_EQ(mb_per_sec(100, 0.0), 0.0);  // no division by zero
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,102 @@
+#include "compress/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+void expect_round_trip(const Bytes& base, const Bytes& target) {
+  const Bytes delta = Delta::encode(base, target);
+  EXPECT_EQ(Delta::decode(base, delta), target);
+}
+
+TEST(DeltaTest, IdenticalBuffersEncodeTiny) {
+  const Bytes data = testing::random_bytes(64 * 1024, 600);
+  const Bytes delta = Delta::encode(data, data);
+  expect_round_trip(data, data);
+  // One COPY instruction + header.
+  EXPECT_LT(delta.size(), 64u);
+}
+
+TEST(DeltaTest, SmallEditEncodesSmall) {
+  const Bytes base = testing::random_bytes(64 * 1024, 601);
+  Bytes target = base;
+  for (std::size_t i = 1000; i < 1100; ++i) target[i] ^= 0x55;
+  const Bytes delta = Delta::encode(base, target);
+  expect_round_trip(base, target);
+  EXPECT_LT(delta.size(), 1024u);  // ~100 literal bytes + 2 copies
+}
+
+TEST(DeltaTest, InsertionShiftsHandled) {
+  const Bytes base = testing::random_bytes(32 * 1024, 602);
+  Bytes target(base.begin(), base.begin() + 10000);
+  const Bytes inserted = testing::random_bytes(333, 603);
+  target.insert(target.end(), inserted.begin(), inserted.end());
+  target.insert(target.end(), base.begin() + 10000, base.end());
+
+  const Bytes delta = Delta::encode(base, target);
+  expect_round_trip(base, target);
+  EXPECT_LT(delta.size(), 1024u);
+}
+
+TEST(DeltaTest, UnrelatedBuffersDegradeGracefully) {
+  const Bytes base = testing::random_bytes(16 * 1024, 604);
+  const Bytes target = testing::random_bytes(16 * 1024, 605);
+  const Bytes delta = Delta::encode(base, target);
+  expect_round_trip(base, target);
+  // Roughly one INSERT of the whole target plus minor overhead.
+  EXPECT_LT(delta.size(), target.size() + target.size() / 8 + 64);
+  EXPECT_GT(Delta::ratio(base, target), 0.9);
+}
+
+TEST(DeltaTest, EmptyCases) {
+  expect_round_trip({}, {});
+  expect_round_trip(testing::random_bytes(100, 606), {});
+  expect_round_trip({}, testing::random_bytes(100, 607));
+}
+
+TEST(DeltaTest, TargetSmallerThanBlock) {
+  expect_round_trip(testing::random_bytes(1000, 608), Bytes{1, 2, 3});
+}
+
+TEST(DeltaTest, RatioBelowOneForSimilarData) {
+  const Bytes base = testing::random_bytes(32 * 1024, 609);
+  Bytes target = base;
+  target[5000] ^= 1;
+  EXPECT_LT(Delta::ratio(base, target), 0.1);
+}
+
+TEST(DeltaTest, RejectsCorruptStreams) {
+  const Bytes base = testing::random_bytes(1000, 610);
+  Bytes delta = Delta::encode(base, base);
+  delta.resize(delta.size() - 3);
+  EXPECT_THROW((void)Delta::decode(base, delta), CheckFailure);
+
+  EXPECT_THROW((void)Delta::decode(base, Bytes{1, 2}), CheckFailure);
+}
+
+TEST(DeltaTest, RejectsCopyOutOfBase) {
+  // Hand-craft a COPY reaching past the base.
+  Bytes delta;
+  const std::uint64_t target_size = 10;
+  for (int i = 0; i < 8; ++i) delta.push_back(static_cast<std::uint8_t>(target_size >> (8 * i)));
+  delta.push_back(0x01);                       // COPY
+  for (int i = 0; i < 8; ++i) delta.push_back(0);  // offset 0
+  delta.push_back(10);                         // len 10
+  for (int i = 0; i < 3; ++i) delta.push_back(0);
+  const Bytes base = {1, 2, 3};  // only 3 bytes
+  EXPECT_THROW((void)Delta::decode(base, delta), CheckFailure);
+}
+
+TEST(DeltaTest, Deterministic) {
+  const Bytes base = testing::random_bytes(8192, 611);
+  Bytes target = base;
+  target[100] ^= 9;
+  EXPECT_EQ(Delta::encode(base, target), Delta::encode(base, target));
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,106 @@
+#include "compress/lzss.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testing/data.h"
+#include "workload/content.h"
+
+namespace defrag {
+namespace {
+
+void expect_round_trip(const Bytes& input) {
+  const Bytes packed = Lzss::compress(input);
+  EXPECT_EQ(Lzss::raw_size(packed), input.size());
+  EXPECT_EQ(Lzss::decompress(packed), input);
+}
+
+TEST(LzssTest, EmptyInput) { expect_round_trip({}); }
+
+TEST(LzssTest, SingleByte) { expect_round_trip({0x42}); }
+
+TEST(LzssTest, ShortLiteralOnly) {
+  expect_round_trip(Bytes{1, 2, 3, 4, 5, 6, 7});
+}
+
+TEST(LzssTest, AllZerosCompressesHard) {
+  const Bytes zeros(100000, 0);
+  const Bytes packed = Lzss::compress(zeros);
+  expect_round_trip(zeros);
+  EXPECT_LT(packed.size(), zeros.size() / 50);
+}
+
+TEST(LzssTest, RepeatedPhraseCompressesWell) {
+  Bytes input;
+  const Bytes phrase = testing::random_bytes(256, 300);
+  for (int i = 0; i < 400; ++i) {
+    input.insert(input.end(), phrase.begin(), phrase.end());
+  }
+  const Bytes packed = Lzss::compress(input);
+  expect_round_trip(input);
+  EXPECT_LT(packed.size(), input.size() / 10);
+}
+
+TEST(LzssTest, RandomDataDoesNotRoundTripLoss) {
+  // Random data is incompressible; correctness must hold regardless.
+  for (std::size_t n : {100u, 4096u, 65536u, 200000u}) {
+    expect_round_trip(testing::random_bytes(n, 301 + n));
+  }
+}
+
+TEST(LzssTest, RandomDataExpandsOnlySlightly) {
+  const Bytes input = testing::random_bytes(100000, 302);
+  const Bytes packed = Lzss::compress(input);
+  // Worst case: 1 flag byte per 8 literals plus the 8-byte header.
+  EXPECT_LE(packed.size(), input.size() + input.size() / 8 + 16);
+}
+
+TEST(LzssTest, OverlappingMatchRunLength) {
+  // "abcabcabc..." forces matches whose source overlaps their destination.
+  Bytes input;
+  for (int i = 0; i < 10000; ++i) input.push_back(static_cast<std::uint8_t>('a' + i % 3));
+  expect_round_trip(input);
+}
+
+TEST(LzssTest, MatchAtMaxDistance) {
+  Bytes input = testing::random_bytes(Lzss::kWindow, 303);
+  const Bytes echo(input.begin(), input.begin() + 1000);
+  input.insert(input.end(), echo.begin(), echo.end());
+  expect_round_trip(input);
+}
+
+TEST(LzssTest, WorkloadTextExtentCompresses) {
+  // The fs-model's kText extents must actually be LZ-friendly.
+  workload::Extent e{777, 128 * 1024, workload::ExtentKind::kText};
+  const Bytes text = workload::materialize(
+      std::vector<workload::Extent>{e});
+  const Bytes packed = Lzss::compress(text);
+  EXPECT_LT(packed.size(), text.size() / 4);
+  expect_round_trip(text);
+}
+
+TEST(LzssTest, WorkloadRandomExtentDoesNot) {
+  workload::Extent e{778, 128 * 1024, workload::ExtentKind::kRandom};
+  const Bytes data = workload::materialize(std::vector<workload::Extent>{e});
+  const Bytes packed = Lzss::compress(data);
+  EXPECT_GT(packed.size(), data.size() * 9 / 10);
+}
+
+TEST(LzssTest, RejectsTruncatedStream) {
+  const Bytes input = testing::random_bytes(1000, 304);
+  Bytes packed = Lzss::compress(input);
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW((void)Lzss::decompress(packed), CheckFailure);
+}
+
+TEST(LzssTest, RejectsTinyHeader) {
+  EXPECT_THROW((void)Lzss::raw_size(Bytes{1, 2, 3}), CheckFailure);
+}
+
+TEST(LzssTest, DeterministicOutput) {
+  const Bytes input = testing::random_bytes(50000, 305);
+  EXPECT_EQ(Lzss::compress(input), Lzss::compress(input));
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,73 @@
+#include "core/dedup_system.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/data.h"
+#include "testing/engine_config.h"
+
+namespace defrag {
+namespace {
+
+TEST(DedupSystemTest, BuildsEveryEngineKind) {
+  const auto cfg = testing::small_engine_config();
+  EXPECT_EQ(DedupSystem(EngineKind::kDdfs, cfg).engine().name(), "DDFS-Like");
+  EXPECT_EQ(DedupSystem(EngineKind::kSilo, cfg).engine().name(), "SiLo-Like");
+  EXPECT_EQ(DedupSystem(EngineKind::kDefrag, cfg).engine().name(), "DeFrag");
+}
+
+TEST(DedupSystemTest, AutoNumbersGenerations) {
+  DedupSystem sys(EngineKind::kDdfs, testing::small_engine_config());
+  const Bytes s = testing::random_bytes(128 * 1024, 160);
+  EXPECT_EQ(sys.ingest(s).generation, 1u);
+  EXPECT_EQ(sys.ingest(s).generation, 2u);
+  EXPECT_EQ(sys.history().size(), 2u);
+}
+
+TEST(DedupSystemTest, ExplicitGenerationNumbering) {
+  DedupSystem sys(EngineKind::kDdfs, testing::small_engine_config());
+  const Bytes s = testing::random_bytes(128 * 1024, 161);
+  EXPECT_EQ(sys.ingest_as(10, s).generation, 10u);
+  EXPECT_EQ(sys.ingest(s).generation, 11u);
+}
+
+TEST(DedupSystemTest, CompressionRatioGrowsWithRedundancy) {
+  DedupSystem sys(EngineKind::kDdfs, testing::small_engine_config());
+  const Bytes s = testing::random_bytes(512 * 1024, 162);
+  sys.ingest(s);
+  const double after_one = sys.compression_ratio();
+  EXPECT_NEAR(after_one, 1.0, 0.05);
+  sys.ingest(s);
+  sys.ingest(s);
+  EXPECT_NEAR(sys.compression_ratio(), 3.0, 0.2);
+}
+
+TEST(DedupSystemTest, RestoreBytesRoundTrips) {
+  DedupSystem sys(EngineKind::kDefrag, testing::small_engine_config());
+  const Bytes s = testing::random_bytes(256 * 1024, 163);
+  sys.ingest(s);
+  RestoreResult rr;
+  EXPECT_EQ(sys.restore_bytes(1, &rr), s);
+  EXPECT_EQ(rr.logical_bytes, s.size());
+}
+
+TEST(DedupSystemTest, CumulativeEfficiencyExactEngineIsOne) {
+  DedupSystem sys(EngineKind::kDdfs, testing::small_engine_config());
+  Bytes s = testing::random_bytes(256 * 1024, 164);
+  for (std::uint32_t g = 1; g <= 3; ++g) {
+    sys.ingest(s);
+    s[g * 100] ^= 0xff;
+  }
+  EXPECT_DOUBLE_EQ(sys.cumulative_dedup_efficiency(), 1.0);
+}
+
+TEST(DedupSystemTest, LogicalBytesAccumulate) {
+  DedupSystem sys(EngineKind::kSilo, testing::small_engine_config());
+  const Bytes a = testing::random_bytes(100 * 1024, 165);
+  const Bytes b = testing::random_bytes(50 * 1024, 166);
+  sys.ingest(a);
+  sys.ingest(b);
+  EXPECT_EQ(sys.logical_bytes_ingested(), a.size() + b.size());
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "dedup/silo_engine.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+Fingerprint fp(std::uint8_t tag) {
+  Bytes b{tag};
+  return Fingerprint::of(b);
+}
+
+BlockRecord block(BlockId id, std::initializer_list<std::uint8_t> tags) {
+  BlockRecord rec;
+  rec.id = id;
+  std::uint32_t off = 0;
+  for (auto t : tags) {
+    rec.entries.emplace_back(fp(t), ChunkLocation{0, off, 100});
+    off += 100;
+  }
+  return rec;
+}
+
+TEST(BlockCacheTest, FindAfterInsert) {
+  BlockCache cache(4);
+  cache.insert(block(1, {1, 2}));
+  const ChunkLocation* loc = cache.find(fp(1));
+  ASSERT_NE(loc, nullptr);
+  EXPECT_EQ(loc->offset, 0u);
+  EXPECT_NE(cache.find(fp(2)), nullptr);
+  EXPECT_EQ(cache.find(fp(3)), nullptr);
+}
+
+TEST(BlockCacheTest, EvictsLruBlock) {
+  BlockCache cache(2);
+  cache.insert(block(1, {1}));
+  cache.insert(block(2, {2}));
+  (void)cache.find(fp(1));
+  cache.insert(block(3, {3}));
+  EXPECT_FALSE(cache.contains_block(2));
+  EXPECT_EQ(cache.find(fp(2)), nullptr);
+  EXPECT_NE(cache.find(fp(1)), nullptr);
+}
+
+TEST(BlockCacheTest, ReinsertIsRecencyRefresh) {
+  BlockCache cache(2);
+  cache.insert(block(1, {1}));
+  cache.insert(block(2, {2}));
+  cache.insert(block(1, {1}));
+  cache.insert(block(3, {3}));
+  EXPECT_TRUE(cache.contains_block(1));
+  EXPECT_FALSE(cache.contains_block(2));
+}
+
+TEST(BlockCacheTest, SharedFingerprintSurvivesOldOwnerEviction) {
+  BlockCache cache(2);
+  cache.insert(block(1, {7}));
+  cache.insert(block(2, {7}));
+  (void)cache.find(fp(7));        // container 2 owns it now, MRU
+  cache.insert(block(3, {8}));    // evicts block 1
+  EXPECT_NE(cache.find(fp(7)), nullptr);
+}
+
+TEST(BlockCacheTest, HitMissCounters) {
+  BlockCache cache(2);
+  cache.insert(block(1, {1}));
+  (void)cache.find(fp(1));
+  (void)cache.find(fp(9));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, MetadataBytesAccounting) {
+  const BlockRecord b = block(1, {1, 2, 3});
+  EXPECT_EQ(b.metadata_bytes(), 3 * kContainerEntryBytes);
+}
+
+TEST(BlockCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(BlockCache(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

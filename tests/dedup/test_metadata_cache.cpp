@@ -1,0 +1,100 @@
+#include "dedup/metadata_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+Fingerprint fp(std::uint8_t tag) {
+  Bytes b{tag};
+  return Fingerprint::of(b);
+}
+
+std::vector<ContainerEntry> entries_for(std::initializer_list<std::uint8_t> tags,
+                                        SegmentId seg = 0) {
+  std::vector<ContainerEntry> out;
+  std::uint32_t off = 0;
+  for (auto t : tags) {
+    out.push_back(ContainerEntry{fp(t), off, 100, seg});
+    off += 100;
+  }
+  return out;
+}
+
+TEST(MetadataCacheTest, FindAfterInsert) {
+  MetadataCache cache(4);
+  cache.insert(1, entries_for({1, 2, 3}, 9));
+  const auto hit = cache.find(fp(2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->container, 1u);
+  EXPECT_EQ(hit->entry->segment, 9u);
+  EXPECT_EQ(hit->entry->offset, 100u);
+}
+
+TEST(MetadataCacheTest, MissReturnsNullopt) {
+  MetadataCache cache(4);
+  cache.insert(1, entries_for({1}));
+  EXPECT_FALSE(cache.find(fp(99)).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(MetadataCacheTest, EvictsLruContainerAndItsFingerprints) {
+  MetadataCache cache(2);
+  cache.insert(1, entries_for({1}));
+  cache.insert(2, entries_for({2}));
+  (void)cache.find(fp(1));               // container 1 now MRU
+  cache.insert(3, entries_for({3}));     // evicts container 2
+  EXPECT_FALSE(cache.contains_container(2));
+  EXPECT_FALSE(cache.find(fp(2)).has_value());
+  EXPECT_TRUE(cache.find(fp(1)).has_value());
+  EXPECT_TRUE(cache.find(fp(3)).has_value());
+}
+
+TEST(MetadataCacheTest, ReinsertRefreshesRecency) {
+  MetadataCache cache(2);
+  cache.insert(1, entries_for({1}));
+  cache.insert(2, entries_for({2}));
+  cache.insert(1, entries_for({1}));  // refresh, not duplicate
+  cache.insert(3, entries_for({3}));  // evicts 2
+  EXPECT_TRUE(cache.contains_container(1));
+  EXPECT_FALSE(cache.contains_container(2));
+}
+
+TEST(MetadataCacheTest, DuplicateFingerprintNewestContainerWins) {
+  MetadataCache cache(4);
+  cache.insert(1, entries_for({7}, 1));
+  cache.insert(2, entries_for({7}, 2));
+  const auto hit = cache.find(fp(7));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->container, 2u);
+  EXPECT_EQ(hit->entry->segment, 2u);
+}
+
+TEST(MetadataCacheTest, EvictingOldOwnerKeepsNewerMapping) {
+  MetadataCache cache(2);
+  cache.insert(1, entries_for({7}, 1));
+  cache.insert(2, entries_for({7}, 2));  // fp 7 now owned by container 2
+  (void)cache.find(fp(7));               // touches container 2
+  cache.insert(3, entries_for({8}));     // evicts container 1
+  // fp 7 must still resolve through container 2.
+  const auto hit = cache.find(fp(7));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->container, 2u);
+}
+
+TEST(MetadataCacheTest, CountsContainers) {
+  MetadataCache cache(8);
+  cache.insert(1, entries_for({1}));
+  cache.insert(2, entries_for({2}));
+  EXPECT_EQ(cache.container_count(), 2u);
+}
+
+TEST(MetadataCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(MetadataCache(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

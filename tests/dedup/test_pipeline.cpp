@@ -1,0 +1,80 @@
+#include "dedup/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "chunking/gear.h"
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+std::vector<StreamChunk> synchronous(const Chunker& chunker, ByteView data) {
+  std::vector<StreamChunk> out;
+  for (const auto& r : chunker.split(data)) {
+    out.push_back(StreamChunk{
+        Fingerprint::of(data.subspan(r.offset, r.size)), r.offset, r.size});
+  }
+  return out;
+}
+
+bool equal_chunks(const std::vector<StreamChunk>& a,
+                  const std::vector<StreamChunk>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].fp != b[i].fp || a[i].stream_offset != b[i].stream_offset ||
+        a[i].size != b[i].size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StreamPipelineTest, MatchesSynchronousPath) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(2 << 20, 130);
+  StreamPipeline pipeline(chunker, 2);
+  EXPECT_TRUE(equal_chunks(pipeline.run(data), synchronous(chunker, data)));
+}
+
+TEST(StreamPipelineTest, WorksWithOneWorker) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(256 * 1024, 131);
+  StreamPipeline pipeline(chunker, 1);
+  EXPECT_TRUE(equal_chunks(pipeline.run(data), synchronous(chunker, data)));
+}
+
+TEST(StreamPipelineTest, SmallBatchesStillCorrect) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(512 * 1024, 132);
+  StreamPipeline pipeline(chunker, 4, /*batch_chunks=*/3);
+  EXPECT_TRUE(equal_chunks(pipeline.run(data), synchronous(chunker, data)));
+}
+
+TEST(StreamPipelineTest, EmptyInput) {
+  GearChunker chunker;
+  StreamPipeline pipeline(chunker, 2);
+  PipelineStats stats;
+  EXPECT_TRUE(pipeline.run({}, &stats).empty());
+  EXPECT_EQ(stats.chunk_count, 0u);
+  EXPECT_EQ(stats.batch_count, 0u);
+}
+
+TEST(StreamPipelineTest, StatsReportChunksAndBatches) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(1 << 20, 133);
+  StreamPipeline pipeline(chunker, 2, 64);
+  PipelineStats stats;
+  const auto chunks = pipeline.run(data, &stats);
+  EXPECT_EQ(stats.chunk_count, chunks.size());
+  EXPECT_EQ(stats.batch_count, (chunks.size() + 63) / 64);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(StreamPipelineTest, RejectsZeroBatch) {
+  GearChunker chunker;
+  EXPECT_THROW(StreamPipeline(chunker, 2, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,151 @@
+#include "dedup/silo_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sha256.h"
+#include "testing/data.h"
+#include "testing/engine_config.h"
+
+namespace defrag {
+namespace {
+
+TEST(SiloEngineTest, FirstBackupIsAllUnique) {
+  SiloEngine engine(testing::small_engine_config());
+  const Bytes stream = testing::random_bytes(512 * 1024, 120);
+  const BackupResult r = engine.backup(1, stream);
+  EXPECT_EQ(r.unique_bytes, stream.size());
+  EXPECT_EQ(r.removed_bytes, 0u);
+  testing::expect_accounting_consistent(r);
+  EXPECT_GT(engine.stored_blocks(), 0u);
+}
+
+TEST(SiloEngineTest, IdenticalSecondBackupDedupsNearlyEverything) {
+  SiloEngine engine(testing::small_engine_config());
+  const Bytes stream = testing::random_bytes(1 << 20, 121);
+  engine.backup(1, stream);
+  const BackupResult r = engine.backup(2, stream);
+
+  // Identical segments have identical representatives: similarity detection
+  // must find essentially all duplicates.
+  EXPECT_GT(r.dedup_efficiency(), 0.99);
+  testing::expect_accounting_consistent(r);
+}
+
+TEST(SiloEngineTest, NearExactMayMissButNeverFabricates) {
+  SiloEngine engine(testing::small_engine_config());
+  Bytes stream = testing::random_bytes(1 << 20, 122);
+  engine.backup(1, stream);
+  // Scatter many small edits: segment representatives change, some
+  // similarity probes miss, so some duplicates slip by — but nothing is
+  // ever wrongly deduplicated (that would corrupt restores).
+  for (std::size_t i = 0; i < stream.size(); i += 64 * 1024) stream[i] ^= 0xff;
+  const BackupResult r = engine.backup(2, stream);
+  testing::expect_accounting_consistent(r);
+
+  Bytes restored;
+  engine.restore(2, &restored);
+  EXPECT_EQ(Sha256::hash(restored), Sha256::hash(stream));
+}
+
+TEST(SiloEngineTest, EfficiencyIsAtMostOne) {
+  SiloEngine engine(testing::small_engine_config());
+  Bytes stream = testing::random_bytes(1 << 20, 123);
+  for (std::uint32_t gen = 1; gen <= 5; ++gen) {
+    const BackupResult r = engine.backup(gen, stream);
+    EXPECT_LE(r.dedup_efficiency(), 1.0 + 1e-12);
+    for (std::size_t i = gen; i < stream.size(); i += 32 * 1024) {
+      stream[i] ^= static_cast<std::uint8_t>(gen);
+    }
+  }
+}
+
+TEST(SiloEngineTest, UsesFarFewerSeeksThanChunks) {
+  SiloEngine engine(testing::small_engine_config());
+  const Bytes stream = testing::random_bytes(1 << 20, 124);
+  engine.backup(1, stream);
+  const BackupResult r = engine.backup(2, stream);
+  // One block load serves many segments' worth of chunks.
+  EXPECT_LT(r.io.seeks, r.segment_count + 4);
+}
+
+TEST(SiloEngineTest, SimilarityIndexGrowsWithData) {
+  SiloEngine engine(testing::small_engine_config());
+  engine.backup(1, testing::random_bytes(512 * 1024, 125));
+  const std::size_t after_one = engine.similarity_index().size();
+  EXPECT_GT(after_one, 0u);
+  engine.backup(2, testing::random_bytes(512 * 1024, 126));
+  EXPECT_GT(engine.similarity_index().size(), after_one);
+}
+
+TEST(SiloEngineTest, RestoreIsLosslessForAllGenerations) {
+  SiloEngine engine(testing::small_engine_config());
+  std::vector<Bytes> streams;
+  Bytes base = testing::random_bytes(512 * 1024, 127);
+  for (std::uint32_t gen = 1; gen <= 3; ++gen) {
+    streams.push_back(base);
+    engine.backup(gen, base);
+    for (std::size_t i = 0; i < 30000; ++i) {
+      base[i + gen * 1000] ^= 0x3c;
+    }
+  }
+  for (std::uint32_t gen = 1; gen <= 3; ++gen) {
+    Bytes restored;
+    engine.restore(gen, &restored);
+    EXPECT_EQ(restored, streams[gen - 1]) << "generation " << gen;
+  }
+}
+
+TEST(SiloEngineTest, SampledIndexKeepsMoreRedundancyOnAverage) {
+  // The RAM-bounded SHTable emulation (silo_index_sample_rate < 1) weakens
+  // detection *statistically*: any single run can go either way (a stale
+  // block's recipe may rescue as much as a fresh one), so compare sums over
+  // several independent workloads — and verify sampling never fabricates.
+  auto churn = [](Bytes& s, std::uint32_t gen) {
+    for (std::size_t i = gen; i < s.size(); i += 24 * 1024) {
+      s[i] ^= static_cast<std::uint8_t>(gen * 17);
+    }
+  };
+
+  std::uint64_t kept_full = 0, kept_sampled = 0;
+  for (std::uint64_t seed : {128ull, 1280ull, 12800ull, 128000ull}) {
+    for (double rate : {1.0, 0.2}) {
+      auto cfg = testing::small_engine_config();
+      cfg.silo_index_sample_rate = rate;
+      cfg.silo_block_cache_blocks = 2;
+      SiloEngine engine(cfg);
+      Bytes stream = testing::random_bytes(1 << 20, seed);
+      std::uint64_t kept = 0;
+      for (std::uint32_t g = 1; g <= 8; ++g) {
+        const BackupResult r = engine.backup(g, stream);
+        testing::expect_accounting_consistent(r);
+        kept += r.missed_dup_bytes;
+        churn(stream, g);
+      }
+      (rate == 1.0 ? kept_full : kept_sampled) += kept;
+    }
+  }
+  EXPECT_GE(kept_sampled + (1 << 18), kept_full)
+      << "sampling should not make detection dramatically better";
+}
+
+TEST(SiloEngineTest, DecisionStatsAreCoherent) {
+  SiloEngine engine(testing::small_engine_config());
+  const Bytes stream = testing::random_bytes(512 * 1024, 129);
+  engine.backup(1, stream);
+  const BackupResult r = engine.backup(2, stream);
+  const auto& d = engine.last_decision_stats();
+  EXPECT_EQ(d.segments, r.segment_count);
+  EXPECT_EQ(d.rep_hits + d.rep_misses, d.segments);
+  // Identical second backup: every segment's representative must hit.
+  EXPECT_EQ(d.rep_misses, 0u);
+}
+
+TEST(SiloEngineTest, EmptyStream) {
+  SiloEngine engine(testing::small_engine_config());
+  const BackupResult r = engine.backup(1, {});
+  EXPECT_EQ(r.logical_bytes, 0u);
+  testing::expect_accounting_consistent(r);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,110 @@
+#include "dedup/sparse_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sha256.h"
+#include "testing/data.h"
+#include "testing/engine_config.h"
+
+namespace defrag {
+namespace {
+
+SparseIndexingParams test_params() {
+  SparseIndexingParams p;
+  p.sample_bits = 4;  // denser hooks at small test scale
+  return p;
+}
+
+TEST(SparseEngineTest, FirstBackupIsAllUnique) {
+  SparseEngine engine(testing::small_engine_config(), test_params());
+  const Bytes stream = testing::random_bytes(512 * 1024, 170);
+  const BackupResult r = engine.backup(1, stream);
+  EXPECT_EQ(r.unique_bytes, stream.size());
+  EXPECT_EQ(r.removed_bytes, 0u);
+  testing::expect_accounting_consistent(r);
+  EXPECT_GT(engine.sparse_index_entries(), 0u);
+}
+
+TEST(SparseEngineTest, IdenticalSecondBackupDedupsNearlyEverything) {
+  SparseEngine engine(testing::small_engine_config(), test_params());
+  const Bytes stream = testing::random_bytes(1 << 20, 171);
+  engine.backup(1, stream);
+  const BackupResult r = engine.backup(2, stream);
+  // Identical segments share all hooks: champion election cannot miss.
+  EXPECT_GT(r.dedup_efficiency(), 0.99);
+  testing::expect_accounting_consistent(r);
+}
+
+TEST(SparseEngineTest, NearExactNeverFabricates) {
+  SparseEngine engine(testing::small_engine_config(), test_params());
+  Bytes stream = testing::random_bytes(1 << 20, 172);
+  engine.backup(1, stream);
+  for (std::size_t i = 0; i < stream.size(); i += 48 * 1024) stream[i] ^= 0xee;
+  const BackupResult r = engine.backup(2, stream);
+  testing::expect_accounting_consistent(r);
+
+  Bytes restored;
+  engine.restore(2, &restored);
+  EXPECT_EQ(Sha256::hash(restored), Sha256::hash(stream));
+}
+
+TEST(SparseEngineTest, ChampionLoadsAreBounded) {
+  auto params = test_params();
+  params.max_champions = 2;
+  SparseEngine engine(testing::small_engine_config(), params);
+  const Bytes stream = testing::random_bytes(1 << 20, 173);
+  engine.backup(1, stream);
+  const BackupResult r = engine.backup(2, stream);
+  const auto& d = engine.last_decision_stats();
+  EXPECT_LE(d.manifests_loaded, d.segments * params.max_champions);
+  // Manifest loads are the only seeks this scheme pays.
+  EXPECT_EQ(r.io.seeks, d.manifests_loaded);
+}
+
+TEST(SparseEngineTest, HookSamplingRespectsRate) {
+  SparseIndexingParams p;
+  p.sample_bits = 4;  // expect ~1/16 of chunks
+  SparseEngine engine(testing::small_engine_config(), p);
+  const Bytes stream = testing::random_bytes(2 << 20, 174);
+  const BackupResult r = engine.backup(1, stream);
+  const auto& d = engine.last_decision_stats();
+  const double rate = static_cast<double>(d.hook_count) /
+                      static_cast<double>(r.chunk_count);
+  EXPECT_NEAR(rate, 1.0 / 16.0, 0.04);
+}
+
+TEST(SparseEngineTest, RestoreLosslessAcrossGenerations) {
+  SparseEngine engine(testing::small_engine_config(), test_params());
+  std::vector<Bytes> streams;
+  Bytes base = testing::random_bytes(512 * 1024, 175);
+  for (std::uint32_t g = 1; g <= 3; ++g) {
+    streams.push_back(base);
+    engine.backup(g, base);
+    for (std::size_t i = g; i < base.size(); i += 37 * 1024) base[i] ^= 0x21;
+  }
+  for (std::uint32_t g = 1; g <= 3; ++g) {
+    Bytes restored;
+    engine.restore(g, &restored);
+    EXPECT_EQ(restored, streams[g - 1]) << "generation " << g;
+  }
+}
+
+TEST(SparseEngineTest, RejectsDegenerateParams) {
+  auto cfg = testing::small_engine_config();
+  SparseIndexingParams p;
+  p.max_champions = 0;
+  EXPECT_THROW((SparseEngine{cfg, p}), CheckFailure);
+  p = SparseIndexingParams{};
+  p.sample_bits = 32;
+  EXPECT_THROW((SparseEngine{cfg, p}), CheckFailure);
+}
+
+TEST(SparseEngineTest, EmptyStream) {
+  SparseEngine engine(testing::small_engine_config(), test_params());
+  const BackupResult r = engine.backup(1, {});
+  EXPECT_EQ(r.logical_bytes, 0u);
+  testing::expect_accounting_consistent(r);
+}
+
+}  // namespace
+}  // namespace defrag

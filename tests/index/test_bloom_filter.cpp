@@ -1,0 +1,73 @@
+#include "index/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+Fingerprint fp_from_u64(std::uint64_t v) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  return Fingerprint::of(b);
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(10000, 0.01);
+  for (std::uint64_t i = 0; i < 10000; ++i) bf.insert(fp_from_u64(i));
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(bf.may_contain(fp_from_u64(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  constexpr std::uint64_t kN = 50000;
+  constexpr double kTarget = 0.01;
+  BloomFilter bf(kN, kTarget);
+  for (std::uint64_t i = 0; i < kN; ++i) bf.insert(fp_from_u64(i));
+
+  std::uint64_t fps = 0;
+  constexpr std::uint64_t kProbes = 50000;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    fps += bf.may_contain(fp_from_u64(1'000'000 + i));
+  }
+  const double rate = static_cast<double>(fps) / kProbes;
+  // DESIGN.md invariant 6: within 2x of the theoretical bound.
+  EXPECT_LT(rate, kTarget * 2);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter bf(1000, 0.01);
+  int positives = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    positives += bf.may_contain(fp_from_u64(i));
+  }
+  EXPECT_EQ(positives, 0);
+}
+
+TEST(BloomFilterTest, SizingFollowsTheory) {
+  BloomFilter bf(1000, 0.01);
+  // m/n ~ 9.59 bits per element at 1%, k ~ 7.
+  EXPECT_NEAR(static_cast<double>(bf.bit_count()) / 1000.0, 9.59, 0.5);
+  EXPECT_NEAR(bf.hash_count(), 7u, 1);
+}
+
+TEST(BloomFilterTest, FillRatioApproachesHalfAtCapacity) {
+  constexpr std::uint64_t kN = 20000;
+  BloomFilter bf(kN, 0.01);
+  for (std::uint64_t i = 0; i < kN; ++i) bf.insert(fp_from_u64(i));
+  EXPECT_NEAR(bf.fill_ratio(), 0.5, 0.05);
+  EXPECT_EQ(bf.inserted(), kN);
+}
+
+TEST(BloomFilterTest, RejectsInvalidParameters) {
+  EXPECT_THROW(BloomFilter(0, 0.01), CheckFailure);
+  EXPECT_THROW(BloomFilter(100, 0.0), CheckFailure);
+  EXPECT_THROW(BloomFilter(100, 1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

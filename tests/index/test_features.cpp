@@ -1,0 +1,97 @@
+#include "index/features.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+TEST(FeaturesTest, Deterministic) {
+  const Bytes data = testing::random_bytes(8192, 700);
+  EXPECT_EQ(compute_features(data), compute_features(data));
+}
+
+TEST(FeaturesTest, IdenticalChunksShareAllSuperFeatures) {
+  const Bytes data = testing::random_bytes(8192, 701);
+  const Bytes copy = data;
+  EXPECT_EQ(compute_features(data).shared_with(compute_features(copy)),
+            ChunkFeatures::kSuperFeatures);
+}
+
+TEST(FeaturesTest, SimilarChunksShareMostSuperFeatures) {
+  // Min-wise sketches survive small edits with high probability; check a
+  // population of lightly-edited chunks rather than a single instance.
+  int total_shared = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Bytes base = testing::random_bytes(8192, 702 + static_cast<std::uint64_t>(trial));
+    Bytes edited = base;
+    edited[4000 + trial] ^= 0xff;  // one-byte edit
+    total_shared += static_cast<int>(
+        compute_features(base).shared_with(compute_features(edited)));
+  }
+  // At least two thirds of all super-features survive a one-byte edit.
+  EXPECT_GT(total_shared,
+            static_cast<int>(kTrials * ChunkFeatures::kSuperFeatures * 2 / 3));
+}
+
+TEST(FeaturesTest, UnrelatedChunksShareNothing) {
+  int shared = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Bytes a = testing::random_bytes(8192, 800 + static_cast<std::uint64_t>(trial));
+    const Bytes b = testing::random_bytes(8192, 900 + static_cast<std::uint64_t>(trial));
+    shared += static_cast<int>(
+        compute_features(a).shared_with(compute_features(b)));
+  }
+  EXPECT_EQ(shared, 0);
+}
+
+TEST(FeaturesTest, TinyInputStillProducesFeatures) {
+  const Bytes tiny = {1, 2, 3};
+  const ChunkFeatures f = compute_features(tiny);
+  // The final-position fallback guarantees defined features.
+  EXPECT_EQ(f.shared_with(compute_features(tiny)),
+            ChunkFeatures::kSuperFeatures);
+}
+
+TEST(ResemblanceIndexTest, FindsRegisteredBase) {
+  const Bytes base = testing::random_bytes(8192, 710);
+  const Fingerprint fp = Fingerprint::of(base);
+
+  ResemblanceIndex idx;
+  idx.add(compute_features(base), fp);
+
+  Bytes edited = base;
+  edited[100] ^= 0x42;
+  const auto found = idx.find_base(compute_features(edited));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, fp);
+}
+
+TEST(ResemblanceIndexTest, NoMatchForUnrelated) {
+  ResemblanceIndex idx;
+  idx.add(compute_features(testing::random_bytes(8192, 711)),
+          Fingerprint::of(testing::random_bytes(8, 712)));
+  EXPECT_FALSE(
+      idx.find_base(compute_features(testing::random_bytes(8192, 713)))
+          .has_value());
+}
+
+TEST(ResemblanceIndexTest, MostSimilarWinsTheVote) {
+  const Bytes base = testing::random_bytes(8192, 714);
+  const Fingerprint fp_exact = Fingerprint::of(base);
+
+  ResemblanceIndex idx;
+  idx.add(compute_features(base), fp_exact);
+  // Register an unrelated chunk too.
+  idx.add(compute_features(testing::random_bytes(8192, 715)),
+          Fingerprint::of(testing::random_bytes(8, 716)));
+
+  const auto found = idx.find_base(compute_features(base));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, fp_exact);
+}
+
+}  // namespace
+}  // namespace defrag

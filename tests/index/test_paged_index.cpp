@@ -1,0 +1,113 @@
+#include "index/paged_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+Fingerprint fp_from_u64(std::uint64_t v) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  return Fingerprint::of(b);
+}
+
+IndexValue val(ContainerId c, std::uint32_t off, SegmentId seg) {
+  return IndexValue{ChunkLocation{c, off, 100}, seg};
+}
+
+TEST(PagedIndexTest, InsertThenLookup) {
+  PagedIndex idx;
+  DiskSim sim;
+  const Fingerprint fp = fp_from_u64(1);
+  idx.insert(fp, val(3, 0, 9), sim);
+  const auto found = idx.lookup(fp, sim);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->location.container, 3u);
+  EXPECT_EQ(found->segment, 9u);
+}
+
+TEST(PagedIndexTest, LookupMissReturnsNullopt) {
+  PagedIndex idx;
+  DiskSim sim;
+  EXPECT_FALSE(idx.lookup(fp_from_u64(1), sim).has_value());
+}
+
+TEST(PagedIndexTest, LookupChargesSeekOnPageCacheMiss) {
+  PagedIndex idx;
+  DiskSim sim;
+  (void)idx.lookup(fp_from_u64(1), sim);
+  EXPECT_EQ(sim.stats().seeks, 1u);
+  EXPECT_EQ(sim.stats().bytes_read, PagedIndexParams{}.page_bytes);
+}
+
+TEST(PagedIndexTest, RepeatedLookupSamePageIsCached) {
+  PagedIndex idx;
+  DiskSim sim;
+  const Fingerprint fp = fp_from_u64(42);
+  (void)idx.lookup(fp, sim);
+  const auto seeks_after_first = sim.stats().seeks;
+  (void)idx.lookup(fp, sim);  // same fingerprint = same page = cache hit
+  EXPECT_EQ(sim.stats().seeks, seeks_after_first);
+}
+
+TEST(PagedIndexTest, ScatteredLookupsThrashTinyPageCache) {
+  // This is the disk bottleneck in miniature: far more pages than cache
+  // slots means nearly every random lookup seeks.
+  PagedIndexParams p;
+  p.page_cache_pages = 4;
+  p.expected_chunks = 1 << 20;
+  PagedIndex idx(p);
+  DiskSim sim;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    (void)idx.lookup(fp_from_u64(i * 7919), sim);
+  }
+  EXPECT_GT(sim.stats().seeks, 950u);
+}
+
+TEST(PagedIndexTest, InsertIsWriteBehind) {
+  PagedIndex idx;
+  DiskSim sim;
+  idx.insert(fp_from_u64(1), val(0, 0, 0), sim);
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.0);
+  EXPECT_EQ(sim.stats().bytes_written, PagedIndexParams{}.entry_bytes);
+}
+
+TEST(PagedIndexTest, UpdateOverwritesValue) {
+  PagedIndex idx;
+  DiskSim sim;
+  const Fingerprint fp = fp_from_u64(5);
+  idx.insert(fp, val(1, 0, 1), sim);
+  idx.update(fp, val(2, 50, 8), sim);
+  const auto found = idx.peek(fp);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->location.container, 2u);
+  EXPECT_EQ(found->segment, 8u);
+}
+
+TEST(PagedIndexTest, UpdateOfMissingEntryRejected) {
+  PagedIndex idx;
+  DiskSim sim;
+  EXPECT_THROW(idx.update(fp_from_u64(1), val(0, 0, 0), sim), CheckFailure);
+}
+
+TEST(PagedIndexTest, InsertRejectsInvalidLocation) {
+  PagedIndex idx;
+  DiskSim sim;
+  EXPECT_THROW(idx.insert(fp_from_u64(1), IndexValue{}, sim), CheckFailure);
+}
+
+TEST(PagedIndexTest, SizeAndContains) {
+  PagedIndex idx;
+  DiskSim sim;
+  EXPECT_EQ(idx.size(), 0u);
+  idx.insert(fp_from_u64(1), val(0, 0, 0), sim);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.contains(fp_from_u64(1)));
+  EXPECT_FALSE(idx.contains(fp_from_u64(2)));
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,100 @@
+#include "index/similarity_index.h"
+
+#include <gtest/gtest.h>
+
+#include "chunking/gear.h"
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+std::vector<StreamChunk> chunks_of(const Bytes& data) {
+  GearChunker chunker;
+  std::vector<StreamChunk> out;
+  for (const auto& r : chunker.split(data)) {
+    out.push_back(StreamChunk{
+        Fingerprint::of(ByteView{data.data() + r.offset, r.size}), r.offset,
+        r.size});
+  }
+  return out;
+}
+
+TEST(RepresentativeFingerprintTest, IsTheMinimum) {
+  const Bytes data = testing::random_bytes(1 << 20, 60);
+  const auto chunks = chunks_of(data);
+  const SegmentRef seg{0, chunks.size(), data.size()};
+  const Fingerprint rep = representative_fingerprint(chunks, seg);
+  for (const auto& c : chunks) EXPECT_LE(rep, c.fp);
+}
+
+TEST(RepresentativeFingerprintTest, SimilarSegmentsShareRep) {
+  // Broder: if two segments share most chunks, they share the min-hash with
+  // high probability. Construct a near-identical segment by dropping one
+  // non-minimal chunk.
+  const Bytes data = testing::random_bytes(1 << 20, 61);
+  auto chunks = chunks_of(data);
+  ASSERT_GT(chunks.size(), 3u);
+  const SegmentRef all{0, chunks.size(), data.size()};
+  const Fingerprint rep = representative_fingerprint(chunks, all);
+
+  // Remove the last chunk unless it happens to be the representative.
+  auto trimmed = chunks;
+  if (trimmed.back().fp == rep) trimmed.erase(trimmed.begin());
+  else trimmed.pop_back();
+  const SegmentRef trimmed_seg{0, trimmed.size(), 0};
+  EXPECT_EQ(representative_fingerprint(trimmed, trimmed_seg), rep);
+}
+
+TEST(RepresentativeSampleTest, ReturnsKSmallestSorted) {
+  const Bytes data = testing::random_bytes(1 << 20, 62);
+  const auto chunks = chunks_of(data);
+  const SegmentRef seg{0, chunks.size(), data.size()};
+  const auto sample = representative_sample(chunks, seg, 3);
+  ASSERT_EQ(sample.size(), 3u);
+  EXPECT_LE(sample[0], sample[1]);
+  EXPECT_LE(sample[1], sample[2]);
+  EXPECT_EQ(sample[0], representative_fingerprint(chunks, seg));
+}
+
+TEST(RepresentativeSampleTest, KLargerThanSegmentClamps) {
+  const Bytes data = testing::random_bytes(8192, 63);
+  const auto chunks = chunks_of(data);
+  const SegmentRef seg{0, chunks.size(), data.size()};
+  const auto sample = representative_sample(chunks, seg, 100);
+  EXPECT_EQ(sample.size(), chunks.size());
+}
+
+TEST(SimilarityIndexTest, AddAndFind) {
+  SimilarityIndex idx;
+  const Fingerprint rep = Fingerprint::of(testing::random_bytes(10, 64));
+  EXPECT_FALSE(idx.find(rep).has_value());
+  idx.add(rep, 5);
+  ASSERT_TRUE(idx.find(rep).has_value());
+  EXPECT_EQ(*idx.find(rep), 5u);
+}
+
+TEST(SimilarityIndexTest, NewestBlockWins) {
+  SimilarityIndex idx;
+  const Fingerprint rep = Fingerprint::of(testing::random_bytes(10, 65));
+  idx.add(rep, 1);
+  idx.add(rep, 2);
+  EXPECT_EQ(*idx.find(rep), 2u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(SimilarityIndexTest, RamBytesAccounting) {
+  SimilarityIndex idx;
+  idx.add(Fingerprint::of(testing::random_bytes(1, 66)), 0);
+  idx.add(Fingerprint::of(testing::random_bytes(2, 67)), 1);
+  EXPECT_EQ(idx.ram_bytes(), 2u * 28u);
+}
+
+TEST(RepresentativeFingerprintTest, RejectsEmptySegment) {
+  std::vector<StreamChunk> none;
+  EXPECT_THROW(representative_fingerprint(none, SegmentRef{0, 0, 0}),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,130 @@
+// Cross-engine end-to-end behaviour on the same evolving workload: the
+// relationships the paper's evaluation relies on, at unit-test scale.
+#include <gtest/gtest.h>
+
+#include "core/dedup_system.h"
+#include "testing/engine_config.h"
+#include "workload/backup_series.h"
+
+namespace defrag {
+namespace {
+
+workload::FsParams tiny_fs() {
+  workload::FsParams p;
+  p.initial_files = 16;
+  p.mean_file_bytes = 64 * 1024;
+  p.mean_extent_bytes = 8 * 1024;
+  return p;
+}
+
+struct EngineRun {
+  std::vector<BackupResult> backups;
+  std::vector<RestoreResult> restores;
+  double compression = 0.0;
+};
+
+EngineRun run_engine(EngineKind kind, std::uint32_t generations,
+               double alpha = 0.1) {
+  auto cfg = testing::small_engine_config();
+  cfg.defrag_alpha = alpha;
+  DedupSystem sys(kind, cfg);
+  workload::SingleUserSeries series(31337, tiny_fs());
+
+  EngineRun out;
+  for (std::uint32_t g = 1; g <= generations; ++g) {
+    out.backups.push_back(sys.ingest_as(g, series.next().stream));
+  }
+  for (std::uint32_t g = 1; g <= generations; ++g) {
+    out.restores.push_back(sys.restore(g));
+  }
+  out.compression = sys.compression_ratio();
+  return out;
+}
+
+TEST(EndToEndTest, AllEnginesAgreeOnGroundTruthRedundancy) {
+  const EngineRun ddfs = run_engine(EngineKind::kDdfs, 4);
+  const EngineRun silo = run_engine(EngineKind::kSilo, 4);
+  const EngineRun defrag = run_engine(EngineKind::kDefrag, 4);
+  for (std::size_t g = 0; g < 4; ++g) {
+    // Ground truth is engine-independent: same workload, same chunker.
+    EXPECT_EQ(ddfs.backups[g].redundant_bytes, silo.backups[g].redundant_bytes);
+    EXPECT_EQ(ddfs.backups[g].redundant_bytes,
+              defrag.backups[g].redundant_bytes);
+    EXPECT_EQ(ddfs.backups[g].chunk_count, defrag.backups[g].chunk_count);
+  }
+}
+
+TEST(EndToEndTest, ExactDedupCompressesBest) {
+  const EngineRun ddfs = run_engine(EngineKind::kDdfs, 5);
+  const EngineRun silo = run_engine(EngineKind::kSilo, 5);
+  const EngineRun defrag = run_engine(EngineKind::kDefrag, 5);
+  EXPECT_GE(ddfs.compression, defrag.compression);
+  EXPECT_GE(ddfs.compression, silo.compression);
+}
+
+TEST(EndToEndTest, DefragEfficiencyBeatsOrMatchesSilo) {
+  // Paper Fig. 5's claim at test scale: DeFrag keeps less redundant data
+  // than SiLo misses+keeps, cumulatively.
+  const EngineRun silo = run_engine(EngineKind::kSilo, 6);
+  const EngineRun defrag = run_engine(EngineKind::kDefrag, 6);
+
+  std::uint64_t silo_kept = 0, defrag_kept = 0, redundant = 0;
+  for (std::size_t g = 0; g < 6; ++g) {
+    silo_kept += silo.backups[g].missed_dup_bytes;
+    defrag_kept +=
+        defrag.backups[g].rewritten_bytes + defrag.backups[g].missed_dup_bytes;
+    redundant += silo.backups[g].redundant_bytes;
+  }
+  if (redundant > 0) {
+    EXPECT_LE(defrag_kept, silo_kept + redundant / 20)
+        << "DeFrag should not keep substantially more redundancy than SiLo";
+  }
+}
+
+TEST(EndToEndTest, DefragRestoreAtLeastAsFastAsDdfs) {
+  // Paper Fig. 6 at test scale: by the last generation DeFrag's restore
+  // bandwidth must not be worse than DDFS's. Kilobyte-scale runs carry a
+  // few percent of CDC noise, so run with a firmer alpha than the paper's
+  // 0.1 (the alpha=0.1 shape is asserted at bench scale, Fig. 6).
+  const EngineRun ddfs = run_engine(EngineKind::kDdfs, 8);
+  const EngineRun defrag = run_engine(EngineKind::kDefrag, 8, /*alpha=*/0.3);
+  const auto& d_last = ddfs.restores.back();
+  const auto& f_last = defrag.restores.back();
+  EXPECT_GE(f_last.read_mb_s(), d_last.read_mb_s() * 0.95);
+}
+
+TEST(EndToEndTest, SimTimeDecomposesIntoComputeAndSeeks) {
+  const EngineRun ddfs = run_engine(EngineKind::kDdfs, 2);
+  for (const auto& b : ddfs.backups) {
+    const double compute =
+        static_cast<double>(b.logical_bytes) / 1e6 /
+        testing::small_engine_config().cpu_mb_per_s;
+    const double seeks = static_cast<double>(b.io.seeks) *
+                         testing::small_engine_config().disk.seek_seconds;
+    // sim time >= compute + seek time; the rest is transfer time.
+    EXPECT_GE(b.sim_seconds + 1e-9, compute + seeks);
+  }
+}
+
+TEST(EndToEndTest, RecipesResolveEveryEntry) {
+  auto cfg = testing::small_engine_config();
+  DedupSystem sys(EngineKind::kDefrag, cfg);
+  workload::SingleUserSeries series(555, tiny_fs());
+  sys.ingest_as(1, series.next().stream);
+  sys.ingest_as(2, series.next().stream);
+
+  const auto* base = dynamic_cast<const EngineBase*>(&sys.engine());
+  ASSERT_NE(base, nullptr);
+  for (std::uint32_t g : {1u, 2u}) {
+    for (const auto& e : base->recipe_store().get(g).entries()) {
+      ASSERT_TRUE(e.location.valid());
+      const Container& c = base->container_store().peek(e.location.container);
+      const ByteView data = c.read(e.location);  // throws if out of bounds
+      EXPECT_EQ(Fingerprint::of(data), e.fp)
+          << "recipe entry content mismatch";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,91 @@
+#include "storage/container.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+Fingerprint fp_of(const Bytes& b) { return Fingerprint::of(b); }
+
+TEST(ContainerTest, AppendAndReadBack) {
+  Container c(0, 1 << 20);
+  const Bytes data = testing::random_bytes(1000, 40);
+  const ChunkLocation loc = c.append(fp_of(data), data, 7);
+
+  EXPECT_EQ(loc.container, 0u);
+  EXPECT_EQ(loc.offset, 0u);
+  EXPECT_EQ(loc.size, 1000u);
+
+  const ByteView back = c.read(loc);
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), data.begin()));
+}
+
+TEST(ContainerTest, SequentialOffsets) {
+  Container c(1, 1 << 20);
+  const Bytes a = testing::random_bytes(100, 41);
+  const Bytes b = testing::random_bytes(200, 42);
+  const auto la = c.append(fp_of(a), a, 0);
+  const auto lb = c.append(fp_of(b), b, 0);
+  EXPECT_EQ(la.offset, 0u);
+  EXPECT_EQ(lb.offset, 100u);
+  EXPECT_EQ(c.data_bytes(), 300u);
+}
+
+TEST(ContainerTest, EntriesRecordMetadata) {
+  Container c(2, 1 << 20);
+  const Bytes data = testing::random_bytes(50, 43);
+  c.append(fp_of(data), data, 99);
+  ASSERT_EQ(c.entries().size(), 1u);
+  EXPECT_EQ(c.entries()[0].fp, fp_of(data));
+  EXPECT_EQ(c.entries()[0].segment, 99u);
+  EXPECT_EQ(c.metadata_bytes(), kContainerEntryBytes);
+}
+
+TEST(ContainerTest, FitsRespectsCapacity) {
+  Container c(3, 1000);
+  EXPECT_TRUE(c.fits(1000));
+  EXPECT_FALSE(c.fits(1001));
+  const Bytes data = testing::random_bytes(600, 44);
+  c.append(fp_of(data), data, 0);
+  EXPECT_TRUE(c.fits(400));
+  EXPECT_FALSE(c.fits(401));
+}
+
+TEST(ContainerTest, SealPreventsAppend) {
+  Container c(4, 1000);
+  c.seal();
+  EXPECT_FALSE(c.fits(1));
+  const Bytes data = testing::random_bytes(10, 45);
+  EXPECT_THROW(c.append(fp_of(data), data, 0), CheckFailure);
+}
+
+TEST(ContainerTest, ReadRejectsWrongContainer) {
+  Container c(5, 1000);
+  const Bytes data = testing::random_bytes(10, 46);
+  auto loc = c.append(fp_of(data), data, 0);
+  loc.container = 6;
+  EXPECT_THROW(c.read(loc), CheckFailure);
+}
+
+TEST(ContainerTest, ReadRejectsOutOfBounds) {
+  Container c(7, 1000);
+  const Bytes data = testing::random_bytes(10, 47);
+  auto loc = c.append(fp_of(data), data, 0);
+  loc.size = 100;
+  EXPECT_THROW(c.read(loc), CheckFailure);
+}
+
+TEST(ChunkLocationTest, ValidityAndEquality) {
+  ChunkLocation invalid;
+  EXPECT_FALSE(invalid.valid());
+  ChunkLocation valid{3, 0, 10};
+  EXPECT_TRUE(valid.valid());
+  EXPECT_EQ(valid, (ChunkLocation{3, 0, 10}));
+  EXPECT_NE(valid, invalid);
+}
+
+}  // namespace
+}  // namespace defrag

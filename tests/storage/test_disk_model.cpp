@@ -1,0 +1,88 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace defrag {
+namespace {
+
+TEST(DiskModelTest, ReadWriteSecondsScaleLinearly) {
+  DiskModel d{.seek_seconds = 0.01, .read_mb_per_s = 100.0,
+              .write_mb_per_s = 50.0};
+  EXPECT_DOUBLE_EQ(d.read_seconds(100'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(d.read_seconds(200'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(d.write_seconds(50'000'000), 1.0);
+}
+
+TEST(DiskSimTest, SeekChargesSeekTime) {
+  DiskSim sim(DiskModel{.seek_seconds = 0.005});
+  sim.seek();
+  sim.seek();
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.010);
+  EXPECT_EQ(sim.stats().seeks, 2u);
+}
+
+TEST(DiskSimTest, ClockIsMonotone) {
+  DiskSim sim;
+  double prev = sim.elapsed_seconds();
+  for (int i = 0; i < 100; ++i) {
+    switch (i % 4) {
+      case 0: sim.seek(); break;
+      case 1: sim.read(1000); break;
+      case 2: sim.write(1000); break;
+      case 3: sim.compute(0.001); break;
+    }
+    EXPECT_GE(sim.elapsed_seconds(), prev);
+    prev = sim.elapsed_seconds();
+  }
+}
+
+TEST(DiskSimTest, WriteBehindCountsBytesButNoTime) {
+  DiskSim sim;
+  sim.write_behind(123456);
+  EXPECT_EQ(sim.stats().bytes_written, 123456u);
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.0);
+}
+
+TEST(DiskSimTest, ResetClearsEverything) {
+  DiskSim sim;
+  sim.seek();
+  sim.read(100);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.0);
+  EXPECT_EQ(sim.stats().seeks, 0u);
+  EXPECT_EQ(sim.stats().bytes_read, 0u);
+}
+
+TEST(DiskSimTest, MixedOperationsAccumulate) {
+  DiskModel m{.seek_seconds = 0.01, .read_mb_per_s = 100.0,
+              .write_mb_per_s = 100.0};
+  DiskSim sim(m);
+  sim.seek();             // 0.01
+  sim.read(10'000'000);   // 0.1
+  sim.write(20'000'000);  // 0.2
+  sim.compute(0.05);      // 0.05
+  EXPECT_NEAR(sim.elapsed_seconds(), 0.36, 1e-12);
+}
+
+TEST(FragmentedReadTest, MatchesPaperEquationOne) {
+  // Paper Eq. (1): F(read) = N * T_seek + size / W_seq.
+  DiskModel d{.seek_seconds = 0.01, .read_mb_per_s = 100.0};
+  const double t1 = fragmented_read_seconds(d, 1, 100'000'000);
+  const double tn = fragmented_read_seconds(d, 50, 100'000'000);
+  EXPECT_DOUBLE_EQ(t1, 0.01 + 1.0);
+  EXPECT_DOUBLE_EQ(tn, 0.50 + 1.0);
+  // The seek-time difference is exactly (N-1) * T_seek.
+  EXPECT_NEAR(tn - t1, 49 * 0.01, 1e-12);
+}
+
+TEST(IoStatsTest, PlusEqualsAccumulates) {
+  IoStats a{.seeks = 1, .bytes_read = 10, .bytes_written = 100};
+  IoStats b{.seeks = 2, .bytes_read = 20, .bytes_written = 200};
+  a += b;
+  EXPECT_EQ(a.seeks, 3u);
+  EXPECT_EQ(a.bytes_read, 30u);
+  EXPECT_EQ(a.bytes_written, 300u);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,100 @@
+#include "storage/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace defrag {
+namespace {
+
+TEST(LruCacheTest, BasicPutGet) {
+  LruCache<int, std::string> c(2);
+  c.put(1, "one");
+  ASSERT_NE(c.get(1), nullptr);
+  EXPECT_EQ(*c.get(1), "one");
+  EXPECT_EQ(c.get(2), nullptr);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_NE(c.get(1), nullptr);  // 1 is now most recent
+  c.put(3, 30);                  // evicts 2
+  EXPECT_EQ(c.get(2), nullptr);
+  EXPECT_NE(c.get(1), nullptr);
+  EXPECT_NE(c.get(3), nullptr);
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(1, 11);  // overwrite refreshes
+  c.put(3, 30);  // evicts 2, not 1
+  EXPECT_NE(c.get(1), nullptr);
+  EXPECT_EQ(*c.get(1), 11);
+  EXPECT_EQ(c.get(2), nullptr);
+}
+
+TEST(LruCacheTest, PeekDoesNotTouchRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  (void)c.peek(1);  // must NOT refresh 1
+  c.put(3, 30);     // evicts 1 (still LRU)
+  EXPECT_EQ(c.get(1), nullptr);
+}
+
+TEST(LruCacheTest, EraseRemovesEntry) {
+  LruCache<int, int> c(4);
+  c.put(1, 10);
+  c.erase(1);
+  EXPECT_EQ(c.get(1), nullptr);
+  EXPECT_EQ(c.size(), 0u);
+  c.erase(99);  // erasing a missing key is a no-op
+}
+
+TEST(LruCacheTest, HitRateTracksLookups) {
+  LruCache<int, int> c(4);
+  c.put(1, 10);
+  (void)c.get(1);  // hit
+  (void)c.get(2);  // miss
+  (void)c.get(1);  // hit
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_NEAR(c.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LruCacheTest, CapacityOneWorks) {
+  LruCache<int, int> c(1);
+  c.put(1, 10);
+  c.put(2, 20);
+  EXPECT_EQ(c.get(1), nullptr);
+  EXPECT_NE(c.get(2), nullptr);
+}
+
+TEST(LruCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), CheckFailure);
+}
+
+TEST(LruCacheTest, ClearEmptiesCache) {
+  LruCache<int, int> c(4);
+  c.put(1, 1);
+  c.put(2, 2);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.get(1), nullptr);
+}
+
+TEST(LruCacheTest, StressManyInsertionsStaysBounded) {
+  LruCache<int, int> c(16);
+  for (int i = 0; i < 10000; ++i) c.put(i, i);
+  EXPECT_EQ(c.size(), 16u);
+  // The last 16 keys must all be present.
+  for (int i = 10000 - 16; i < 10000; ++i) EXPECT_NE(c.get(i), nullptr);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,73 @@
+#include "storage/recipe.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+Fingerprint fp(std::uint8_t tag) {
+  Bytes b{tag};
+  return Fingerprint::of(b);
+}
+
+TEST(RecipeTest, TracksEntriesAndBytes) {
+  Recipe r("gen1");
+  r.add(fp(1), ChunkLocation{0, 0, 100});
+  r.add(fp(2), ChunkLocation{0, 100, 200});
+  EXPECT_EQ(r.entries().size(), 2u);
+  EXPECT_EQ(r.logical_bytes(), 300u);
+  EXPECT_EQ(r.label(), "gen1");
+}
+
+TEST(RecipeTest, DistinctContainersCountsUnique) {
+  Recipe r;
+  r.add(fp(1), ChunkLocation{0, 0, 10});
+  r.add(fp(2), ChunkLocation{1, 0, 10});
+  r.add(fp(3), ChunkLocation{0, 10, 10});
+  EXPECT_EQ(r.distinct_containers(), 2u);
+}
+
+TEST(RecipeTest, ContainerSwitchesCountsTransitions) {
+  Recipe r;
+  // Pattern 0,0,1,0,1 -> switches at start, 0->1, 1->0, 0->1 = 4.
+  r.add(fp(1), ChunkLocation{0, 0, 10});
+  r.add(fp(2), ChunkLocation{0, 10, 10});
+  r.add(fp(3), ChunkLocation{1, 0, 10});
+  r.add(fp(4), ChunkLocation{0, 20, 10});
+  r.add(fp(5), ChunkLocation{1, 10, 10});
+  EXPECT_EQ(r.container_switches(), 4u);
+}
+
+TEST(RecipeTest, EmptyRecipe) {
+  Recipe r;
+  EXPECT_EQ(r.distinct_containers(), 0u);
+  EXPECT_EQ(r.container_switches(), 0u);
+  EXPECT_EQ(r.logical_bytes(), 0u);
+}
+
+TEST(RecipeStoreTest, CreateAndGet) {
+  RecipeStore store;
+  Recipe& r = store.create(1, "first");
+  r.add(fp(1), ChunkLocation{0, 0, 10});
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_EQ(store.get(1).logical_bytes(), 10u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecipeStoreTest, DuplicateGenerationRejected) {
+  RecipeStore store;
+  store.create(1, "a");
+  EXPECT_THROW(store.create(1, "b"), CheckFailure);
+}
+
+TEST(RecipeStoreTest, UnknownGenerationRejected) {
+  RecipeStore store;
+  EXPECT_THROW(store.get(42), CheckFailure);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -1,0 +1,16 @@
+// Shared helpers for test data generation.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace defrag::testing {
+
+inline Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  Xoshiro256 rng(seed);
+  rng.fill(b);
+  return b;
+}
+
+}  // namespace defrag::testing

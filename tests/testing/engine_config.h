@@ -1,0 +1,38 @@
+// Downsized engine configuration for fast unit tests: small chunks, small
+// segments, small containers, so locality effects appear at kilobyte scale.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "dedup/engine.h"
+
+namespace defrag::testing {
+
+inline EngineConfig small_engine_config() {
+  EngineConfig cfg;
+  cfg.chunker.min_size = 512;
+  cfg.chunker.avg_size = 2048;
+  cfg.chunker.max_size = 8192;
+  cfg.segmenter.min_bytes = 16 * 1024;
+  cfg.segmenter.target_bytes = 32 * 1024;
+  cfg.segmenter.max_bytes = 64 * 1024;
+  cfg.container_bytes = 256 * 1024;
+  cfg.index.expected_chunks = 1 << 16;
+  cfg.metadata_cache_containers = 8;
+  cfg.restore_cache_containers = 4;
+  cfg.silo_block_cache_blocks = 8;
+  return cfg;
+}
+
+/// The cross-engine accounting invariant (DESIGN.md §6 item 8).
+inline void expect_accounting_consistent(const BackupResult& r) {
+  EXPECT_EQ(r.unique_bytes + r.removed_bytes + r.rewritten_bytes +
+                r.missed_dup_bytes,
+            r.logical_bytes)
+      << "every stream byte must be stored, removed, rewritten or missed";
+  EXPECT_EQ(r.removed_bytes + r.rewritten_bytes + r.missed_dup_bytes,
+            r.redundant_bytes)
+      << "duplicate bytes must be fully attributed";
+}
+
+}  // namespace defrag::testing

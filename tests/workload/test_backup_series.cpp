@@ -1,0 +1,81 @@
+#include "workload/backup_series.h"
+
+#include <gtest/gtest.h>
+
+namespace defrag::workload {
+namespace {
+
+FsParams small_params() {
+  FsParams p;
+  p.initial_files = 8;
+  p.mean_file_bytes = 32 * 1024;
+  p.mean_extent_bytes = 8 * 1024;
+  return p;
+}
+
+TEST(SingleUserSeriesTest, GenerationsNumberFromOne) {
+  SingleUserSeries series(42, small_params());
+  EXPECT_EQ(series.next().generation, 1u);
+  EXPECT_EQ(series.next().generation, 2u);
+  EXPECT_EQ(series.produced(), 2u);
+}
+
+TEST(SingleUserSeriesTest, FirstBackupIsUnmutatedGenerationZero) {
+  SingleUserSeries series(42, small_params());
+  FileSystemModel reference(42, small_params());
+  EXPECT_EQ(series.next().stream, reference.materialize_stream());
+}
+
+TEST(SingleUserSeriesTest, Deterministic) {
+  SingleUserSeries a(42, small_params()), b(42, small_params());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.next().stream, b.next().stream);
+  }
+}
+
+TEST(MultiUserSeriesTest, UsersRotateRoundRobin) {
+  MultiUserSeries series(42, small_params(), {});
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    const Backup b = series.next();
+    EXPECT_EQ(b.generation, i);
+    EXPECT_EQ(b.user, (i - 1) % MultiUserSeries::kUsers);
+  }
+}
+
+TEST(MultiUserSeriesTest, UsersHaveIndependentContent) {
+  MultiUserSeries series(42, small_params(), {});
+  const Backup b1 = series.next();  // user 0
+  const Backup b2 = series.next();  // user 1
+  EXPECT_NE(b1.stream, b2.stream);
+}
+
+TEST(MultiUserSeriesTest, SecondVisitMutates) {
+  MultiUserSeries series(42, small_params(), {});
+  const Backup first = series.next();  // user 0, gen 1
+  for (int i = 0; i < 4; ++i) series.next();
+  const Backup second = series.next();  // user 0 again, gen 6
+  EXPECT_EQ(second.user, 0u);
+  EXPECT_NE(first.stream, second.stream);
+}
+
+TEST(MultiUserSeriesTest, FreshEpochInflatesThatBackup) {
+  MultiUserSeries with_fresh(42, small_params(), {6});
+  MultiUserSeries without(42, small_params(), {});
+  for (int i = 0; i < 5; ++i) {
+    with_fresh.next();
+    without.next();
+  }
+  const Backup f = with_fresh.next();
+  const Backup n = without.next();
+  EXPECT_GT(f.stream.size(), n.stream.size() + n.stream.size() / 3);
+}
+
+TEST(MultiUserSeriesTest, Deterministic) {
+  MultiUserSeries a(7, small_params()), b(7, small_params());
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(a.next().stream, b.next().stream);
+  }
+}
+
+}  // namespace
+}  // namespace defrag::workload

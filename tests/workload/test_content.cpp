@@ -1,0 +1,52 @@
+#include "workload/content.h"
+
+#include <gtest/gtest.h>
+
+namespace defrag::workload {
+namespace {
+
+TEST(ContentTest, MaterializeExtentIsDeterministic) {
+  const Extent e{12345, 1000};
+  Bytes a, b;
+  materialize_extent(e, a);
+  materialize_extent(e, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 1000u);
+}
+
+TEST(ContentTest, DifferentSeedsDifferentContent) {
+  Bytes a, b;
+  materialize_extent(Extent{1, 1000}, a);
+  materialize_extent(Extent{2, 1000}, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ContentTest, MaterializeAppends) {
+  Bytes out;
+  materialize_extent(Extent{1, 100}, out);
+  materialize_extent(Extent{2, 50}, out);
+  EXPECT_EQ(out.size(), 150u);
+
+  // The first 100 bytes must be extent 1's content, untouched.
+  Bytes only_first;
+  materialize_extent(Extent{1, 100}, only_first);
+  EXPECT_TRUE(std::equal(only_first.begin(), only_first.end(), out.begin()));
+}
+
+TEST(ContentTest, ExtentsBytesSums) {
+  const std::vector<Extent> v = {{1, 100}, {2, 200}, {3, 0}};
+  EXPECT_EQ(extents_bytes(v), 300u);
+  EXPECT_EQ(extents_bytes({}), 0u);
+}
+
+TEST(ContentTest, MaterializeListEqualsConcatenation) {
+  const std::vector<Extent> v = {{7, 333}, {8, 444}};
+  const Bytes whole = materialize(v);
+  Bytes manual;
+  materialize_extent(v[0], manual);
+  materialize_extent(v[1], manual);
+  EXPECT_EQ(whole, manual);
+}
+
+}  // namespace
+}  // namespace defrag::workload

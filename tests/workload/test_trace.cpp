@@ -1,0 +1,104 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chunking/gear.h"
+#include "common/check.h"
+#include "testing/data.h"
+
+namespace defrag::workload {
+namespace {
+
+TraceBackup make_backup(std::uint32_t gen, std::uint32_t user,
+                        std::uint64_t seed, std::size_t bytes) {
+  const Bytes data = defrag::testing::random_bytes(bytes, seed);
+  GearChunker chunker;
+  TraceBackup b;
+  b.generation = gen;
+  b.user = user;
+  for (const auto& r : chunker.split(data)) {
+    b.chunks.push_back(StreamChunk{
+        Fingerprint::of(ByteView{data.data() + r.offset, r.size}), r.offset,
+        r.size});
+  }
+  return b;
+}
+
+TEST(TraceTest, RoundTripsBackups) {
+  std::stringstream ss;
+  TraceWriter writer(ss);
+  const TraceBackup b1 = make_backup(1, 0, 1, 128 * 1024);
+  const TraceBackup b2 = make_backup(2, 3, 2, 64 * 1024);
+  writer.write(b1);
+  writer.write(b2);
+  EXPECT_EQ(writer.backups_written(), 2u);
+
+  TraceReader reader(ss);
+  const auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->generation, 1u);
+  EXPECT_EQ(r1->user, 0u);
+  ASSERT_EQ(r1->chunks.size(), b1.chunks.size());
+  for (std::size_t i = 0; i < b1.chunks.size(); ++i) {
+    EXPECT_EQ(r1->chunks[i].fp, b1.chunks[i].fp);
+    EXPECT_EQ(r1->chunks[i].size, b1.chunks[i].size);
+    EXPECT_EQ(r1->chunks[i].stream_offset, b1.chunks[i].stream_offset);
+  }
+  const auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->generation, 2u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TraceTest, EmptyTraceReadsCleanly) {
+  std::stringstream ss;
+  TraceWriter writer(ss);
+  TraceReader reader(ss);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TraceTest, RejectsGarbageHeader) {
+  std::stringstream ss;
+  ss << "not a trace at all";
+  EXPECT_THROW(TraceReader reader(ss), CheckFailure);
+}
+
+TEST(TraceTest, RejectsTruncatedBody) {
+  std::stringstream ss;
+  TraceWriter writer(ss);
+  writer.write(make_backup(1, 0, 3, 64 * 1024));
+  std::string data = ss.str();
+  data.resize(data.size() - 10);  // chop mid-record
+  std::stringstream truncated(data);
+  TraceReader reader(truncated);
+  EXPECT_THROW((void)reader.next(), CheckFailure);
+}
+
+TEST(TraceTest, AnalyzeComputesDedupStats) {
+  std::stringstream ss;
+  TraceWriter writer(ss);
+  const TraceBackup b = make_backup(1, 0, 4, 256 * 1024);
+  writer.write(b);
+  TraceBackup b2 = b;  // identical second generation: 100% redundant
+  b2.generation = 2;
+  writer.write(b2);
+
+  const TraceStats stats = analyze_trace(ss);
+  EXPECT_EQ(stats.backups, 2u);
+  EXPECT_EQ(stats.chunks, 2 * b.chunks.size());
+  EXPECT_EQ(stats.unique_chunks, b.chunks.size());
+  EXPECT_NEAR(stats.dedup_ratio(), 2.0, 1e-9);
+  ASSERT_EQ(stats.generation_redundancy.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.generation_redundancy[0], 0.0);
+  EXPECT_DOUBLE_EQ(stats.generation_redundancy[1], 1.0);
+}
+
+TEST(TraceTest, LogicalBytesHelper) {
+  const TraceBackup b = make_backup(1, 0, 5, 100 * 1024);
+  EXPECT_EQ(b.logical_bytes(), 100u * 1024u);
+}
+
+}  // namespace
+}  // namespace defrag::workload
