@@ -3,10 +3,37 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+
+#include "obs/metrics.h"
 
 namespace defrag::bench {
 
+bool export_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), out);
+  return out.good();
+}
+
 Scale resolve_scale() {
+  // DEFRAG_METRICS_JSON=<path>: every bench dumps the metrics registry on
+  // exit, in the same schema as `defrag-cli --metrics-json`, so runs can be
+  // compared with tools/metrics_diff.py without touching the bench code.
+  if (const char* path = std::getenv("DEFRAG_METRICS_JSON");
+      path != nullptr && *path != '\0') {
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit([] {
+        export_metrics_json(std::getenv("DEFRAG_METRICS_JSON"));
+      });
+    }
+  }
+
   Scale s;
   // ~45-70 MB per backup (~40-55 segments): enough segments that the
   // binomial noise of per-segment similarity misses averages into the

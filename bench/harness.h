@@ -55,6 +55,12 @@ SeriesRun run_multi_user(
 void print_header(const std::string& figure, const std::string& claim,
                   const Scale& scale);
 
+/// Dump the global MetricsRegistry as defrag.metrics.v1 JSON — the exact
+/// format of `defrag-cli --metrics-json`, so tools/metrics_diff.py can
+/// compare bench runs against CLI runs. Returns false (with a message on
+/// stderr) if the file cannot be written.
+bool export_metrics_json(const std::string& path);
+
 /// Shape assertion helper: prints PASS/FAIL with the two numbers.
 void check_shape(const std::string& what, bool ok, double lhs, double rhs);
 

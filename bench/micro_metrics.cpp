@@ -1,0 +1,101 @@
+// Microbenchmarks for the obs subsystem: raw primitive cost (counter add,
+// histogram observe, disabled-counter add) and the end-to-end question the
+// instrumentation budget hangs on — how much wall-clock a full ingest pays
+// with metrics enabled vs disabled (acceptance: < 3%).
+#include <benchmark/benchmark.h>
+
+#include "core/dedup_system.h"
+#include "harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/backup_series.h"
+
+namespace defrag {
+namespace {
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_CounterAddDisabled(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    c.add(1);
+  }
+  obs::set_enabled(true);
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("bench.hist");
+  double v = 1.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v += 3.0;
+  }
+  benchmark::DoNotOptimize(h.stats().count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  // Name-to-handle resolution under the registry mutex: the cost hot paths
+  // avoid by caching handles, and cold paths (once per backup) pay.
+  obs::MetricsRegistry reg;
+  reg.counter("engine.defrag.rewritten_bytes");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&reg.counter("engine.defrag.rewritten_bytes"));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_Snapshot(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("bench.counter." + std::to_string(i)).add(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+}
+BENCHMARK(BM_Snapshot);
+
+/// One full DeFrag ingest of a small series, metrics enabled (range 1) or
+/// disabled (range 0). The relative wall-clock difference between the two
+/// labels is the instrumentation overhead (< 3% acceptance; the atomics are
+/// far below measurement noise in practice).
+void BM_IngestObsToggle(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  workload::FsParams fs;
+  fs.initial_files = 12;
+  fs.mean_file_bytes = 96 * 1024;
+
+  obs::set_enabled(obs_on);
+  for (auto _ : state) {
+    state.PauseTiming();
+    workload::SingleUserSeries series(42, fs);
+    DedupSystem sys(EngineKind::kDefrag, bench::paper_engine_config());
+    state.ResumeTiming();
+    for (std::uint32_t g = 1; g <= 4; ++g) {
+      const workload::Backup b = series.next();
+      benchmark::DoNotOptimize(sys.ingest_as(g, b.stream));
+    }
+  }
+  obs::set_enabled(true);
+  state.SetLabel(obs_on ? "metrics on" : "metrics off");
+}
+BENCHMARK(BM_IngestObsToggle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace defrag
+
+BENCHMARK_MAIN();

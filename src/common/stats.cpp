@@ -35,19 +35,22 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 void Log2Histogram::add(std::uint64_t value) {
-  const int b =
-      value == 0
-          ? 0
-          : std::min(kBuckets - 1, static_cast<int>(std::bit_width(value)) - 1);
-  ++counts_[static_cast<std::size_t>(b)];
   ++total_;
+  if (value == 0) {
+    ++zeros_;
+    return;
+  }
+  const int b =
+      std::min(kBuckets - 1, static_cast<int>(std::bit_width(value)) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
 }
 
 double Log2Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
-  std::uint64_t seen = 0;
+  std::uint64_t seen = zeros_;
+  if (seen > target) return 0.0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += counts_[static_cast<std::size_t>(i)];
     if (seen > target) {
@@ -55,11 +58,23 @@ double Log2Histogram::quantile(double q) const {
       return 1.5 * std::pow(2.0, i);
     }
   }
-  return std::pow(2.0, kBuckets);
+  // Unreachable while every add lands in a bucket; clamp to the last
+  // bucket's midpoint rather than inventing a 2^40 value.
+  return 1.5 * std::pow(2.0, kBuckets - 1);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    counts_[static_cast<std::size_t>(i)] +=
+        other.counts_[static_cast<std::size_t>(i)];
+  }
+  total_ += other.total_;
+  zeros_ += other.zeros_;
 }
 
 std::string Log2Histogram::to_string() const {
   std::ostringstream os;
+  if (zeros_ > 0) os << "[0]: " << zeros_ << "\n";
   for (int i = 0; i < kBuckets; ++i) {
     const auto c = counts_[static_cast<std::size_t>(i)];
     if (c == 0) continue;

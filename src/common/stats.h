@@ -35,23 +35,32 @@ class RunningStats {
 };
 
 /// Fixed-bucket log2 histogram for size distributions (chunk sizes, segment
-/// sizes, fragments per file). Bucket i covers [2^i, 2^(i+1)).
+/// sizes, fragments per file). Bucket i covers [2^i, 2^(i+1)); zero-valued
+/// samples are tracked separately (they have no log2 bucket) so metrics on
+/// sparse streams don't inflate the [1, 2) bucket.
 class Log2Histogram {
  public:
   static constexpr int kBuckets = 40;
 
   void add(std::uint64_t value);
   std::uint64_t count() const { return total_; }
+  std::uint64_t zeros() const { return zeros_; }
   std::uint64_t bucket(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
 
-  /// Approximate quantile from bucket midpoints, q in [0,1].
+  /// Approximate quantile from bucket midpoints, q in [0,1]. Zero-valued
+  /// samples rank below every bucket; values past the last bucket clamp to
+  /// its midpoint (they were clamped into it by add()).
   double quantile(double q) const;
+
+  /// Merge another histogram into this one (parallel reduction).
+  void merge(const Log2Histogram& other);
 
   std::string to_string() const;
 
  private:
   std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(kBuckets, 0);
   std::uint64_t total_ = 0;
+  std::uint64_t zeros_ = 0;
 };
 
 /// Exact percentile over a retained sample vector (for small series such as

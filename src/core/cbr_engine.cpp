@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -14,6 +16,9 @@ CbrEngine::CbrEngine(const EngineConfig& cfg, const CbrParams& params)
 }
 
 BackupResult CbrEngine::backup(std::uint32_t generation, ByteView stream) {
+  const obs::TraceSpan span("backup", "engine");
+  std::uint64_t contexts_seen = 0;
+  std::uint64_t contexts_rewritten = 0;
   DiskSim sim(cfg_.disk);
   BackupResult res;
   res.generation = generation;
@@ -71,8 +76,11 @@ BackupResult CbrEngine::backup(std::uint32_t generation, ByteView stream) {
       const double utilization =
           static_cast<double>(bytes) /
           static_cast<double>(store_.peek(cid).data_bytes());
-      rewrite.emplace(cid,
-                      !fresh && utilization < params_.utilization_threshold);
+      const bool marked =
+          !fresh && utilization < params_.utilization_threshold;
+      rewrite.emplace(cid, marked);
+      ++contexts_seen;
+      if (marked) ++contexts_rewritten;
     }
 
     // Pass 2 — emit.
@@ -116,6 +124,14 @@ BackupResult CbrEngine::backup(std::uint32_t generation, ByteView stream) {
 
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string& p = metrics_prefix();
+    reg.counter(p + "context_containers").add(contexts_seen);
+    reg.counter(p + "rewrite_containers").add(contexts_rewritten);
+  }
+  record_backup_metrics(res);
+  record_lookup_metrics();
   return res;
 }
 

@@ -1,6 +1,9 @@
 #include "core/dedup_system.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "core/cbr_engine.h"
 #include "core/defrag_engine.h"
 #include "dedup/ddfs_engine.h"
@@ -36,6 +39,9 @@ BackupResult DedupSystem::ingest(ByteView stream) {
 
 BackupResult DedupSystem::ingest_as(std::uint32_t generation,
                                     ByteView stream) {
+  const obs::TraceSpan span("ingest g" + std::to_string(generation), "system");
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::global().histogram("system.ingest_wall_us"));
   BackupResult res = engine_->backup(generation, stream);
   history_.push_back(res);
   logical_ingested_ += res.logical_bytes;
@@ -65,6 +71,9 @@ FileRestoreResult DedupSystem::restore_file(std::uint32_t generation,
 }
 
 RestoreResult DedupSystem::restore(std::uint32_t generation) {
+  const obs::TraceSpan span("restore g" + std::to_string(generation), "system");
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::global().histogram("system.restore_wall_us"));
   return engine_->restore(generation, nullptr);
 }
 

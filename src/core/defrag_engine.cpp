@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -25,6 +27,14 @@ DefragEngine::DefragEngine(const EngineConfig& cfg) : DdfsEngine(cfg) {
 }
 
 BackupResult DefragEngine::backup(std::uint32_t generation, ByteView stream) {
+  const obs::TraceSpan span("backup", "engine");
+  // SPL decision telemetry, resolved once per backup: the distribution of
+  // per-bin SPL values and of their margin against alpha (both in permille,
+  // so the log2 buckets resolve the [0, 1] range), plus bin verdict totals.
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& prefix = metrics_prefix();
+  obs::Histogram& spl_hist = reg.histogram(prefix + "spl_permille");
+  obs::Histogram& margin_hist = reg.histogram(prefix + "alpha_margin_permille");
   DiskSim sim(cfg_.disk);
   BackupResult res;
   res.generation = generation;
@@ -110,6 +120,8 @@ BackupResult DefragEngine::backup(std::uint32_t generation, ByteView stream) {
       ++decisions_.bins_total;
       decisions_.spl_sum += spl;
       if (rewrite) ++decisions_.bins_rewritten;
+      spl_hist.observe(spl * 1000.0);
+      margin_hist.observe((spl - cfg_.defrag_alpha) * 1000.0);
     }
 
     // Pass 2 — emit in stream order. Unique chunks and rewritten duplicates
@@ -161,6 +173,11 @@ BackupResult DefragEngine::backup(std::uint32_t generation, ByteView stream) {
 
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+  reg.counter(prefix + "spl_bins").add(decisions_.bins_total);
+  reg.counter(prefix + "rewrite_bins").add(decisions_.bins_rewritten);
+  reg.counter(prefix + "segments_with_dups").add(decisions_.segments_with_dups);
+  record_backup_metrics(res);
+  record_lookup_metrics();
   return res;
 }
 

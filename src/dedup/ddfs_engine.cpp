@@ -1,6 +1,8 @@
 #include "dedup/ddfs_engine.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -51,7 +53,19 @@ ChunkLocation DdfsEngine::store_chunk(const StreamChunk& chunk,
   return loc;
 }
 
+void DdfsEngine::record_lookup_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("dedup.metadata_cache.hits")
+      .set(static_cast<double>(metadata_cache_.hits()));
+  reg.gauge("dedup.metadata_cache.misses")
+      .set(static_cast<double>(metadata_cache_.misses()));
+  reg.gauge("dedup.metadata_cache.containers")
+      .set(static_cast<double>(metadata_cache_.container_count()));
+  reg.gauge("index.bloom.fill_ratio").set(bloom_.fill_ratio());
+}
+
 BackupResult DdfsEngine::backup(std::uint32_t generation, ByteView stream) {
+  const obs::TraceSpan span("backup", "engine");
   DiskSim sim(cfg_.disk);
   BackupResult res;
   res.generation = generation;
@@ -91,6 +105,8 @@ BackupResult DdfsEngine::backup(std::uint32_t generation, ByteView stream) {
 
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+  record_backup_metrics(res);
+  record_lookup_metrics();
   return res;
 }
 

@@ -44,6 +44,11 @@ class DdfsEngine : public EngineBase {
   ChunkLocation store_chunk(const StreamChunk& chunk, ByteView stream,
                             SegmentId segment, DiskSim& sim);
 
+  /// Publish cumulative lookup-path state (metadata-cache hit/miss totals,
+  /// bloom fill ratio) as gauges. Called after every backup, including by
+  /// the derived DeFrag and CBR engines.
+  void record_lookup_metrics();
+
   PagedIndex index_;
   BloomFilter bloom_;
   MetadataCache metadata_cache_;

@@ -2,6 +2,9 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "storage/lru_cache.h"
 
 namespace defrag {
@@ -46,7 +49,41 @@ EngineBase::EngineBase(const EngineConfig& cfg)
   }
 }
 
+const std::string& EngineBase::metrics_prefix() {
+  if (metrics_prefix_.empty()) {
+    metrics_prefix_ = "engine." + obs::slug(name()) + ".";
+  }
+  return metrics_prefix_;
+}
+
+void EngineBase::record_backup_metrics(const BackupResult& res) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& p = metrics_prefix();
+  reg.counter(p + "backups").add(1);
+  reg.counter(p + "logical_bytes").add(res.logical_bytes);
+  reg.counter(p + "chunks").add(res.chunk_count);
+  reg.counter(p + "segments").add(res.segment_count);
+  reg.counter(p + "unique_bytes").add(res.unique_bytes);
+  reg.counter(p + "removed_bytes").add(res.removed_bytes);
+  reg.counter(p + "rewritten_bytes").add(res.rewritten_bytes);
+  reg.counter(p + "missed_dup_bytes").add(res.missed_dup_bytes);
+  reg.counter(p + "redundant_bytes").add(res.redundant_bytes);
+  reg.counter(p + "io_seeks").add(res.io.seeks);
+  reg.counter(p + "io_bytes_read").add(res.io.bytes_read);
+  reg.counter(p + "io_bytes_written").add(res.io.bytes_written);
+  reg.histogram(p + "backup_sim_ms").observe(res.sim_seconds * 1e3);
+  reg.gauge(p + "last_throughput_mb_s").set(res.throughput_mb_s());
+  // Store-wide state worth reading alongside the per-generation counters.
+  reg.gauge("storage.container.count")
+      .set(static_cast<double>(store_.container_count()));
+  reg.gauge("storage.container.data_bytes")
+      .set(static_cast<double>(store_.total_data_bytes()));
+}
+
 std::vector<StreamChunk> EngineBase::prepare_chunks(ByteView stream) {
+  const obs::TraceSpan span("prepare_chunks", "ingest");
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::global().histogram("stage.prepare_us"));
   const std::vector<ChunkRef> refs = chunker_->split(stream);
   std::vector<StreamChunk> chunks(refs.size());
 
@@ -73,6 +110,7 @@ bool EngineBase::ground_truth_duplicate(const Fingerprint& fp) {
 }
 
 RestoreResult EngineBase::restore(std::uint32_t generation, Bytes* out) {
+  const obs::TraceSpan span("restore", "restore");
   const Recipe& recipe = recipes_.get(generation);
   DiskSim sim(cfg_.disk);
   // Container-granularity read cache: turning spatial locality into fewer
@@ -103,6 +141,14 @@ RestoreResult EngineBase::restore(std::uint32_t generation, Bytes* out) {
   res.cache_hit_rate = cache.hit_rate();
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("storage.restore_cache.hits").add(cache.hits());
+  reg.counter("storage.restore_cache.misses").add(cache.misses());
+  reg.counter("storage.restore_cache.evictions").add(cache.evictions());
+  reg.gauge("storage.restore_cache.last_hit_rate").set(res.cache_hit_rate);
+  reg.histogram(metrics_prefix() + "restore_sim_ms")
+      .observe(res.sim_seconds * 1e3);
   return res;
 }
 

@@ -175,6 +175,16 @@ class EngineBase : public DedupEngine {
 
   SegmentId allocate_segment_id() { return next_segment_id_++; }
 
+  /// "engine.<slug>." — the metric-name prefix of this engine, derived from
+  /// name() on first use (so derived engines report under their own slug).
+  const std::string& metrics_prefix();
+
+  /// Publish one generation's result into the process-wide MetricsRegistry
+  /// under metrics_prefix(): byte/chunk/segment counters, I/O counters, a
+  /// sim-time histogram and a last-throughput gauge. Every engine calls this
+  /// at the end of backup().
+  void record_backup_metrics(const BackupResult& res);
+
   EngineConfig cfg_;
   std::unique_ptr<Chunker> chunker_;
   Segmenter segmenter_;
@@ -185,6 +195,7 @@ class EngineBase : public DedupEngine {
   std::unordered_set<Fingerprint> seen_;
   SegmentId next_segment_id_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+  std::string metrics_prefix_;
 };
 
 /// Which engine to build.

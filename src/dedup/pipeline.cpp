@@ -5,6 +5,9 @@
 
 #include "common/check.h"
 #include "common/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -20,8 +23,19 @@ std::vector<StreamChunk> StreamPipeline::run(ByteView stream,
   const auto t0 = std::chrono::steady_clock::now();
 
   // Stage 1 (this thread): sequential chunking.
-  const std::vector<ChunkRef> refs = chunker_.split(stream);
+  std::vector<ChunkRef> refs;
+  {
+    const obs::TraceSpan span("pipeline.chunk", "pipeline");
+    obs::ScopedTimer timer(
+        obs::MetricsRegistry::global().histogram("pipeline.chunk_us"));
+    refs = chunker_.split(stream);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
   std::vector<StreamChunk> out(refs.size());
+
+  const obs::TraceSpan fp_span("pipeline.fingerprint", "pipeline");
+  obs::ScopedTimer fp_timer(
+      obs::MetricsRegistry::global().histogram("pipeline.fingerprint_us"));
 
   // Stage 2 (pool): fingerprint batches as they are carved off. Because
   // split() already ran, batches dispatch immediately back-to-back; the
@@ -41,13 +55,15 @@ std::vector<StreamChunk> StreamPipeline::run(ByteView stream,
     }));
   }
   for (auto& b : batches) b.get();
+  fp_timer.stop();
+  const auto t2 = std::chrono::steady_clock::now();
 
   if (stats) {
     stats->chunk_count = refs.size();
     stats->batch_count = batches.size();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    stats->chunk_seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats->fingerprint_seconds = std::chrono::duration<double>(t2 - t1).count();
+    stats->wall_seconds = std::chrono::duration<double>(t2 - t0).count();
   }
   return out;
 }

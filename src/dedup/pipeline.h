@@ -24,6 +24,10 @@ struct PipelineStats {
   std::size_t chunk_count = 0;
   std::size_t batch_count = 0;
   double wall_seconds = 0.0;
+  /// Per-stage split of wall_seconds: sequential chunking vs parallel
+  /// fingerprinting (dispatch + drain, measured on the calling thread).
+  double chunk_seconds = 0.0;
+  double fingerprint_seconds = 0.0;
 };
 
 class StreamPipeline {

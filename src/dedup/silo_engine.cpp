@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -80,6 +82,7 @@ void SiloEngine::seal_open_block() {
 }
 
 BackupResult SiloEngine::backup(std::uint32_t generation, ByteView stream) {
+  const obs::TraceSpan span("backup", "engine");
   DiskSim sim(cfg_.disk);
   BackupResult res;
   res.generation = generation;
@@ -171,6 +174,15 @@ BackupResult SiloEngine::backup(std::uint32_t generation, ByteView stream) {
 
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string& p = metrics_prefix();
+    reg.counter(p + "rep_hits").add(decisions_.rep_hits);
+    reg.counter(p + "rep_misses").add(decisions_.rep_misses);
+    reg.counter(p + "block_loads").add(decisions_.block_loads);
+    reg.counter(p + "rescued_chunks").add(decisions_.rescued_chunks);
+  }
+  record_backup_metrics(res);
   return res;
 }
 

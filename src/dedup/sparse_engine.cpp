@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "index/similarity_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -50,6 +52,7 @@ std::vector<SegmentId> SparseEngine::elect_champions(
 }
 
 BackupResult SparseEngine::backup(std::uint32_t generation, ByteView stream) {
+  const obs::TraceSpan span("backup", "engine");
   DiskSim sim(cfg_.disk);
   BackupResult res;
   res.generation = generation;
@@ -135,6 +138,15 @@ BackupResult SparseEngine::backup(std::uint32_t generation, ByteView stream) {
 
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string& p = metrics_prefix();
+    reg.counter(p + "manifests_loaded").add(decisions_.manifests_loaded);
+    reg.counter(p + "segments_without_champion")
+        .add(decisions_.segments_without_champion);
+    reg.counter(p + "hooks").add(decisions_.hook_count);
+  }
+  record_backup_metrics(res);
   return res;
 }
 

@@ -8,7 +8,10 @@
 
 namespace defrag {
 
-BloomFilter::BloomFilter(std::uint64_t expected_items, double target_fp_rate) {
+BloomFilter::BloomFilter(std::uint64_t expected_items, double target_fp_rate)
+    : probes_(&obs::MetricsRegistry::global().counter("index.bloom.probes")),
+      negatives_(
+          &obs::MetricsRegistry::global().counter("index.bloom.negatives")) {
   DEFRAG_CHECK(expected_items > 0);
   DEFRAG_CHECK(target_fp_rate > 0.0 && target_fp_rate < 1.0);
   const double ln2 = std::log(2.0);
@@ -39,10 +42,14 @@ void BloomFilter::insert(const Fingerprint& fp) {
 }
 
 bool BloomFilter::may_contain(const Fingerprint& fp) const {
+  probes_->add(1);
   auto [h1, h2] = hash_pair(fp);
   for (std::uint32_t i = 0; i < hash_count_; ++i) {
     const std::uint64_t bit = (h1 + i * h2) % bit_count_;
-    if (!(bits_[bit >> 6] & (1ull << (bit & 63)))) return false;
+    if (!(bits_[bit >> 6] & (1ull << (bit & 63)))) {
+      negatives_->add(1);
+      return false;
+    }
   }
   return true;
 }

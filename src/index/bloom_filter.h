@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "obs/metrics.h"
 
 namespace defrag {
 
@@ -36,6 +37,10 @@ class BloomFilter {
   std::uint32_t hash_count_;
   std::uint64_t inserted_ = 0;
   std::vector<std::uint64_t> bits_;
+
+  // Process-wide probe telemetry ("index.bloom.*"), resolved once.
+  obs::Counter* probes_;
+  obs::Counter* negatives_;
 };
 
 }  // namespace defrag

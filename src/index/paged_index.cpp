@@ -8,14 +8,19 @@ PagedIndex::PagedIndex(const PagedIndexParams& params)
     : params_(params),
       page_count_(std::max<std::uint64_t>(
           1, params.expected_chunks * params.entry_bytes / params.page_bytes)),
-      page_cache_(params.page_cache_pages) {
+      page_cache_(params.page_cache_pages),
+      lookups_(&obs::MetricsRegistry::global().counter("index.paged.lookups")),
+      page_faults_(
+          &obs::MetricsRegistry::global().counter("index.paged.page_faults")) {
   DEFRAG_CHECK(params_.page_bytes >= params_.entry_bytes);
 }
 
 std::optional<IndexValue> PagedIndex::lookup(const Fingerprint& fp,
                                              DiskSim& sim) {
+  lookups_->add(1);
   const std::uint64_t page = page_of(fp);
   if (page_cache_.get(page) == nullptr) {
+    page_faults_->add(1);
     sim.seek();
     sim.read(params_.page_bytes);
     page_cache_.put(page, 0);

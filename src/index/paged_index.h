@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "common/fingerprint.h"
+#include "obs/metrics.h"
 #include "storage/container.h"
 #include "storage/disk_model.h"
 #include "storage/lru_cache.h"
@@ -71,6 +72,11 @@ class PagedIndex {
   std::unordered_map<Fingerprint, IndexValue> map_;
   // Value is unused; the cache tracks which pages are resident.
   mutable LruCache<std::uint64_t, char> page_cache_;
+
+  // Process-wide lookup telemetry ("index.paged.*"), resolved once. A page
+  // fault is a page-cache miss: one seek plus one page transfer.
+  obs::Counter* lookups_;
+  obs::Counter* page_faults_;
 };
 
 }  // namespace defrag

@@ -1,0 +1,26 @@
+// Minimal JSON emission helpers shared by the metrics-snapshot and
+// Chrome-trace exporters. This is deliberately a set of formatting
+// primitives, not a DOM: both exporters stream straight to an ostream so
+// snapshots of large registries never materialize twice in memory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace defrag::obs {
+
+/// `s` with JSON string escapes applied (quotes, backslashes, control
+/// characters); does NOT add the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// A finite double formatted for JSON ("%.12g": round-trips the precision
+/// the metrics layer cares about while staying deterministic across runs).
+/// NaN/Inf — which JSON cannot represent — are emitted as 0.
+std::string json_number(double v);
+
+/// Convenience: `"escaped"` with quotes.
+std::string json_quote(std::string_view s);
+
+}  // namespace defrag::obs

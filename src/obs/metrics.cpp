@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace defrag::obs {
+
+namespace {
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+           c == '_' || c == '-';
+  });
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instrumented objects cache handles and may be
+  // destroyed after static teardown begins.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot_for(std::string_view name,
+                                                 MetricKind kind) {
+  DEFRAG_CHECK_MSG(valid_name(name),
+                   "metric names are non-empty [a-zA-Z0-9._-]");
+  std::lock_guard lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        slot.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        slot.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        slot.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  DEFRAG_CHECK_MSG(it->second.kind == kind,
+                   "metric '" + std::string(name) + "' already registered as " +
+                       kind_name(it->second.kind) + ", requested as " +
+                       kind_name(kind));
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *slot_for(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *slot_for(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *slot_for(name, MetricKind::kHistogram).histogram;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Copy the other side under its lock, then fold under ours (avoids lock
+  // ordering issues; merge is a cold reduction path).
+  const MetricsSnapshot theirs = other.snapshot();
+  for (const MetricEntry& e : theirs.entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        counter(e.name).v_.fetch_add(e.counter, std::memory_order_relaxed);
+        break;
+      case MetricKind::kGauge:
+        if (e.gauge_set) {
+          Gauge& g = gauge(e.name);
+          g.v_.store(e.gauge, std::memory_order_relaxed);
+          g.set_flag_.store(true, std::memory_order_relaxed);
+        } else {
+          gauge(e.name);  // register even if never set
+        }
+        break;
+      case MetricKind::kHistogram: {
+        Histogram& h = histogram(e.name);
+        h.stats_.merge(e.hist_stats);
+        h.buckets_.merge(e.hist_buckets);
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        slot.counter->v_.store(0, std::memory_order_relaxed);
+        break;
+      case MetricKind::kGauge:
+        slot.gauge->v_.store(0.0, std::memory_order_relaxed);
+        slot.gauge->set_flag_.store(false, std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram:
+        slot.histogram->stats_ = RunningStats{};
+        slot.histogram->buckets_ = Log2Histogram{};
+        break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return slots_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {  // std::map: sorted by name
+    MetricEntry e;
+    e.name = name;
+    e.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        e.counter = slot.counter->value();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = slot.gauge->value();
+        e.gauge_set = slot.gauge->is_set();
+        break;
+      case MetricKind::kHistogram:
+        e.hist_stats = slot.histogram->stats();
+        e.hist_buckets = slot.histogram->buckets();
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+const MetricEntry* MetricsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const MetricEntry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::uint64_t MetricsSnapshot::counter_or_zero(std::string_view name) const {
+  const MetricEntry* e = find(name);
+  return (e && e->kind == MetricKind::kCounter) ? e->counter : 0;
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "{\n  \"schema\": \"defrag.metrics.v1\",\n  \"metrics\": {";
+  bool first = true;
+  for (const MetricEntry& e : snapshot.entries) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    " << json_quote(e.name) << ": {";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        os << "\"type\": \"counter\", \"value\": " << e.counter;
+        break;
+      case MetricKind::kGauge:
+        os << "\"type\": \"gauge\", \"value\": " << json_number(e.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const RunningStats& s = e.hist_stats;
+        const Log2Histogram& b = e.hist_buckets;
+        os << "\"type\": \"histogram\", \"count\": " << s.count()
+           << ", \"sum\": " << json_number(s.sum())
+           << ", \"mean\": " << json_number(s.mean())
+           << ", \"stddev\": " << json_number(s.stddev())
+           << ", \"min\": " << json_number(s.min())
+           << ", \"max\": " << json_number(s.max())
+           << ", \"p50\": " << json_number(b.quantile(0.5))
+           << ", \"p90\": " << json_number(b.quantile(0.9))
+           << ", \"p99\": " << json_number(b.quantile(0.99))
+           << ", \"zeros\": " << b.zeros() << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+          const std::uint64_t c = b.bucket(i);
+          if (c == 0) continue;
+          if (!first_bucket) os << ", ";
+          first_bucket = false;
+          os << "[" << i << ", " << c << "]";
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+std::uint64_t counter_delta(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after,
+                            std::string_view name) {
+  const std::uint64_t b = before.counter_or_zero(name);
+  const std::uint64_t a = after.counter_or_zero(name);
+  return a >= b ? a - b : 0;
+}
+
+std::string slug(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace defrag::obs

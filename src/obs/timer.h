@@ -1,0 +1,59 @@
+// Wall-clock stage timing over steady_clock: a StopWatch primitive plus a
+// ScopedTimer that feeds a registry Histogram on destruction. Used for
+// per-stage ingest timing (chunk, fingerprint, dedup loop) where the
+// simulated DiskSim clock does not apply.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace defrag::obs {
+
+class StopWatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  StopWatch() : start_(Clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void restart() { start_ = Clock::now(); }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Observes elapsed wall time into `hist` when destroyed (or stop()ped),
+/// scaled by `scale` — default 1e6, i.e. microseconds, which keeps the
+/// log2 buckets meaningful for sub-second stages.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist, double scale = 1e6)
+      : hist_(hist), scale_(scale) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record now; further calls are no-ops. Returns elapsed seconds.
+  double stop() {
+    if (stopped_) return last_seconds_;
+    stopped_ = true;
+    last_seconds_ = watch_.seconds();
+    hist_.observe(last_seconds_ * scale_);
+    return last_seconds_;
+  }
+
+ private:
+  Histogram& hist_;
+  double scale_;
+  StopWatch watch_;
+  bool stopped_ = false;
+  double last_seconds_ = 0.0;
+};
+
+}  // namespace defrag::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <ostream>
+
+#include "obs/json_writer.h"
+
+namespace defrag::obs {
+
+namespace {
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = 0;
+  if (tid == 0) tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(Clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked on purpose, like MetricsRegistry::global().
+  static TraceRecorder* g = new TraceRecorder();
+  return *g;
+}
+
+void TraceRecorder::enable() {
+  {
+    std::lock_guard lock(mu_);
+    if (!epoch_anchored_) {
+      epoch_ = Clock::now();
+      epoch_anchored_ = true;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::us_since_epoch(Clock::time_point t) const {
+  if (t <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+          .count());
+}
+
+void TraceRecorder::record_complete(std::string_view name,
+                                    std::string_view category,
+                                    Clock::time_point begin,
+                                    Clock::time_point end) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'X';
+  e.tid = current_tid();
+  std::lock_guard lock(mu_);
+  e.ts_us = us_since_epoch(begin);
+  e.dur_us = us_since_epoch(end) - e.ts_us;
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::record_instant(std::string_view name,
+                                   std::string_view category) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.tid = current_tid();
+  std::lock_guard lock(mu_);
+  e.ts_us = us_since_epoch(Clock::now());
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": " << json_quote(e.name)
+       << ", \"cat\": " << json_quote(e.category) << ", \"ph\": \"" << e.phase
+       << "\", \"ts\": " << e.ts_us;
+    if (e.phase == 'X') os << ", \"dur\": " << e.dur_us;
+    os << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace defrag::obs

@@ -1,0 +1,107 @@
+// Structured tracing: Chrome trace-event spans for the ingest/restore
+// phases, loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Recording is off by default: a TraceSpan constructed while the recorder is
+// disabled costs two relaxed loads and records nothing, so the spans baked
+// into the pipeline are free in normal runs. defrag-cli --trace-out and the
+// obs tests enable it explicitly.
+//
+// Only "X" (complete) and "i" (instant) events are emitted; timestamps are
+// microseconds on steady_clock relative to the recorder's epoch, so traces
+// are monotonic and immune to wall-clock steps.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace defrag::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';          // 'X' complete, 'i' instant
+  std::uint64_t ts_us = 0;   // since recorder epoch
+  std::uint64_t dur_us = 0;  // 'X' only
+  std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceRecorder();
+
+  /// The process-wide recorder the built-in spans feed. Never destroyed.
+  static TraceRecorder& global();
+
+  /// Start/stop collecting. enable() re-anchors the epoch only on the first
+  /// call, so disable/enable pauses without folding timestamps.
+  void enable();
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record_complete(std::string_view name, std::string_view category,
+                       Clock::time_point begin, Clock::time_point end);
+  void record_instant(std::string_view name, std::string_view category);
+
+  void clear();
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents": [...]} — the Chrome trace-event JSON object format.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::uint64_t us_since_epoch(Clock::time_point t) const;
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  bool epoch_anchored_ = false;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records a complete event over its lifetime when the recorder
+/// is enabled at construction. Near-free when disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view category = "defrag",
+                     TraceRecorder& recorder = TraceRecorder::global())
+      : recorder_(recorder), armed_(recorder.enabled()) {
+    if (armed_) {
+      name_ = name;
+      category_ = category;
+      begin_ = TraceRecorder::Clock::now();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { finish(); }
+
+  /// End the span early (idempotent).
+  void finish() {
+    if (!armed_) return;
+    armed_ = false;
+    recorder_.record_complete(name_, category_, begin_,
+                              TraceRecorder::Clock::now());
+  }
+
+ private:
+  TraceRecorder& recorder_;
+  bool armed_;
+  std::string name_;
+  std::string category_;
+  TraceRecorder::Clock::time_point begin_{};
+};
+
+}  // namespace defrag::obs

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace defrag {
 
@@ -31,6 +33,7 @@ CompactionResult Compactor::compact(
   DEFRAG_CHECK_MSG(!keep_generations.empty(),
                    "compaction must retain at least one generation");
 
+  const obs::TraceSpan span("compact", "storage");
   CompactionResult res;
   res.containers_before = store.container_count();
 
@@ -91,6 +94,15 @@ CompactionResult Compactor::compact(
 
   res.io = sim.stats();
   res.sim_seconds = sim.elapsed_seconds();
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("storage.compactor.runs").add(1);
+  reg.counter("storage.compactor.live_bytes_copied").add(res.live_bytes);
+  reg.counter("storage.compactor.dead_bytes_reclaimed").add(res.dead_bytes);
+  reg.counter("storage.compactor.source_containers")
+      .add(static_cast<std::uint64_t>(sources.size()));
+  reg.gauge("storage.compactor.last_reclaimed_fraction")
+      .set(res.reclaimed_fraction());
   return res;
 }
 

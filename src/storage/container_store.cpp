@@ -6,7 +6,17 @@ namespace defrag {
 
 ContainerStore::ContainerStore(std::uint64_t container_capacity,
                                bool compress_on_seal)
-    : capacity_(container_capacity), compress_on_seal_(compress_on_seal) {
+    : capacity_(container_capacity),
+      compress_on_seal_(compress_on_seal),
+      obs_{&obs::MetricsRegistry::global().counter("storage.container.appends"),
+           &obs::MetricsRegistry::global().counter(
+               "storage.container.bytes_appended"),
+           &obs::MetricsRegistry::global().counter("storage.container.seals"),
+           &obs::MetricsRegistry::global().counter("storage.container.loads"),
+           &obs::MetricsRegistry::global().counter(
+               "storage.container.bytes_loaded"),
+           &obs::MetricsRegistry::global().counter(
+               "storage.container.metadata_loads")} {
   DEFRAG_CHECK(capacity_ >= 64 * 1024);
 }
 
@@ -25,22 +35,29 @@ ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
   Container* c = &writable();
   if (!c->fits(static_cast<std::uint32_t>(data.size()))) {
     c->seal(compress_on_seal_);
+    obs_.seals->add(1);
     c = &writable();
   }
   // Container writes are sequential at the log head and flushed write-behind;
   // the metadata section is written alongside the data, so count both.
   sim.write_behind(data.size() + kContainerEntryBytes);
+  obs_.appends->add(1);
+  obs_.bytes_appended->add(data.size());
   return c->append(fp, data, segment);
 }
 
 void ContainerStore::flush() {
-  if (!containers_.empty()) containers_.back()->seal(compress_on_seal_);
+  if (containers_.empty() || containers_.back()->sealed()) return;
+  containers_.back()->seal(compress_on_seal_);
+  obs_.seals->add(1);
 }
 
 const Container& ContainerStore::load(ContainerId id, DiskSim& sim) const {
   const Container& c = peek(id);
   sim.seek();
   sim.read(c.stored_bytes() + c.metadata_bytes());
+  obs_.loads->add(1);
+  obs_.bytes_loaded->add(c.stored_bytes() + c.metadata_bytes());
   return c;
 }
 
@@ -49,6 +66,7 @@ const std::vector<ContainerEntry>& ContainerStore::load_metadata(
   const Container& c = peek(id);
   sim.seek();
   sim.read(c.metadata_bytes());
+  obs_.metadata_loads->add(1);
   return c.entries();
 }
 

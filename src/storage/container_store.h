@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/container.h"
 #include "storage/disk_model.h"
 
@@ -64,6 +65,19 @@ class ContainerStore {
   std::uint64_t capacity_;
   bool compress_on_seal_;
   std::vector<std::unique_ptr<Container>> containers_;
+
+  // Hot-path handles into the process-wide registry ("storage.container.*"),
+  // resolved once at construction; pointers so stores stay assignable.
+  // Shared by every store in the process.
+  struct ObsHandles {
+    obs::Counter* appends;
+    obs::Counter* bytes_appended;
+    obs::Counter* seals;
+    obs::Counter* loads;
+    obs::Counter* bytes_loaded;
+    obs::Counter* metadata_loads;
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace defrag

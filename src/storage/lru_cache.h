@@ -69,9 +69,20 @@ class LruCache {
     map_.erase(it);
   }
 
+  /// Empty the cache AND zero the hit/miss/eviction counters: a cleared
+  /// cache starts a fresh measurement epoch (per-generation metrics must not
+  /// inherit the previous generation's tallies).
   void clear() {
     map_.clear();
     order_.clear();
+    reset_stats();
+  }
+
+  /// Zero hit/miss/eviction counters without touching the entries.
+  void reset_stats() {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
   }
 
   std::size_t size() const { return map_.size(); }

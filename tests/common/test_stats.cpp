@@ -46,10 +46,47 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   const double mean = a.mean();
   a.merge(empty);
   EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
 
   RunningStats b;
   b.merge(a);
   EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 2.0);
+}
+
+TEST(RunningStatsTest, ManyShardReductionEqualsSinglePass) {
+  // Parallel-reduction shape: 8 shards folded pairwise, as a thread pool
+  // would. Moments must match the single accumulator to fp tolerance.
+  constexpr int kShards = 8;
+  RunningStats all;
+  RunningStats shard[kShards];
+  for (int i = 0; i < 4096; ++i) {
+    const double v = std::sin(i * 0.1) * 1000.0 + i * 0.01;
+    all.add(v);
+    shard[i % kShards].add(v);
+  }
+  for (int stride = 1; stride < kShards; stride *= 2) {
+    for (int i = 0; i + stride < kShards; i += 2 * stride) {
+      shard[i].merge(shard[i + stride]);
+    }
+  }
+  EXPECT_EQ(shard[0].count(), all.count());
+  EXPECT_NEAR(shard[0].mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(shard[0].variance(), all.variance(), 1e-6);
+  EXPECT_NEAR(shard[0].sum(), all.sum(), 1e-6);
+  EXPECT_DOUBLE_EQ(shard[0].min(), all.min());
+  EXPECT_DOUBLE_EQ(shard[0].max(), all.max());
+}
+
+TEST(RunningStatsTest, OneSidedMergePreservesIdentity) {
+  RunningStats a;
+  for (double v : {3.0, 1.0, 4.0}) a.add(v);
+  RunningStats b = a;
+  b.merge(RunningStats{});
+  EXPECT_EQ(b.count(), a.count());
+  EXPECT_DOUBLE_EQ(b.variance(), a.variance());
 }
 
 TEST(Log2HistogramTest, BucketsByPowerOfTwo) {
@@ -64,10 +101,58 @@ TEST(Log2HistogramTest, BucketsByPowerOfTwo) {
   EXPECT_EQ(h.bucket(10), 1u);
 }
 
-TEST(Log2HistogramTest, ZeroGoesToBucketZero) {
+TEST(Log2HistogramTest, ZeroTrackedSeparately) {
+  // A zero sample has no log2 bucket: it must not pollute bucket 0
+  // (which covers [1, 2)) and is reported via zeros() instead.
   Log2Histogram h;
   h.add(0);
-  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.zeros(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Log2HistogramTest, QuantileRanksZerosFirst) {
+  Log2Histogram h;
+  for (int i = 0; i < 6; ++i) h.add(0);
+  for (int i = 0; i < 4; ++i) h.add(100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // 6 of 10 samples are zero
+  // 100 lies in [2^6, 2^7); bucket midpoint is 96.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.5 * 64.0);
+}
+
+TEST(Log2HistogramTest, QuantileClampsOversizedValues) {
+  // Values past the last bucket are clamped into it by add(); the quantile
+  // must answer with that bucket's midpoint, not an invented 2^40.
+  Log2Histogram h;
+  h.add(std::numeric_limits<std::uint64_t>::max());
+  const double expected =
+      1.5 * std::pow(2.0, Log2Histogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), expected);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), expected);
+}
+
+TEST(Log2HistogramTest, MergeAddsBucketsAndZeros) {
+  Log2Histogram a, b;
+  a.add(0);
+  a.add(5);
+  b.add(0);
+  b.add(5);
+  b.add(1024);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.zeros(), 2u);
+  EXPECT_EQ(a.bucket(2), 2u);
+  EXPECT_EQ(a.bucket(10), 1u);
+}
+
+TEST(Log2HistogramTest, ToStringReportsZerosLine) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(3);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[0]: 1"), std::string::npos);
+  EXPECT_NE(s.find("[2^1, 2^2): 1"), std::string::npos);
 }
 
 TEST(Log2HistogramTest, QuantileApproximatesMedian) {
@@ -93,6 +178,22 @@ TEST(PercentileTest, InterpolatesBetweenValues) {
 
 TEST(PercentileTest, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(PercentileTest, ClampsQOutsideUnitInterval) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 3.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3}, 0.5), 3.0);
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "testing/json_check.h"
+
+namespace defrag::obs {
+namespace {
+
+TEST(TraceRecorderTest, DisabledRecordsNothing) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  {
+    TraceSpan span("work", "test", rec);
+  }
+  rec.record_instant("ping", "test");
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, SpanRecordsCompleteEvent) {
+  TraceRecorder rec;
+  rec.enable();
+  {
+    TraceSpan span("ingest", "engine", rec);
+  }
+  ASSERT_EQ(rec.event_count(), 1u);
+  const TraceEvent e = rec.events()[0];
+  EXPECT_EQ(e.name, "ingest");
+  EXPECT_EQ(e.category, "engine");
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_GT(e.tid, 0u);
+}
+
+TEST(TraceRecorderTest, FinishIsIdempotent) {
+  TraceRecorder rec;
+  rec.enable();
+  {
+    TraceSpan span("once", "test", rec);
+    span.finish();
+    span.finish();
+  }  // destructor must not double-record
+  EXPECT_EQ(rec.event_count(), 1u);
+}
+
+TEST(TraceRecorderTest, SpanArmedAtConstructionOnly) {
+  // A span built while disabled stays silent even if recording starts
+  // before it dies — half-open spans would have garbage timestamps.
+  TraceRecorder rec;
+  {
+    TraceSpan span("early", "test", rec);
+    rec.enable();
+  }
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, TimestampsAreMonotonic) {
+  TraceRecorder rec;
+  rec.enable();
+  { TraceSpan a("first", "test", rec); }
+  { TraceSpan b("second", "test", rec); }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST(TraceRecorderTest, ThreadsGetDistinctIds) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.record_instant("main", "test");
+  std::thread([&rec] { rec.record_instant("worker", "test"); }).join();
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceRecorderTest, ClearDropsEvents) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.record_instant("a", "test");
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceJsonTest, ChromeTraceIsValidJson) {
+  TraceRecorder rec;
+  rec.enable();
+  {
+    TraceSpan outer("phase \"quoted\"", "cat\\slash", rec);
+    TraceSpan inner("nested\nline", "test", rec);
+  }
+  rec.record_instant("marker", "test");
+
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::JsonChecker::valid(json)) << json;
+  // The Chrome trace-event envelope Perfetto expects.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(TraceJsonTest, EmptyRecorderIsValidJson) {
+  TraceRecorder rec;
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  EXPECT_TRUE(testing::JsonChecker::valid(os.str())) << os.str();
+}
+
+TEST(GlobalTraceRecorderTest, IsASingleton) {
+  EXPECT_EQ(&TraceRecorder::global(), &TraceRecorder::global());
+}
+
+}  // namespace
+}  // namespace defrag::obs

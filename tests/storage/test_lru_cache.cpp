@@ -88,6 +88,33 @@ TEST(LruCacheTest, ClearEmptiesCache) {
   EXPECT_EQ(c.get(1), nullptr);
 }
 
+TEST(LruCacheTest, ClearResetsStatistics) {
+  // A cleared cache is a fresh cache: stale hit/miss/eviction totals would
+  // corrupt every rate computed after reuse.
+  LruCache<int, int> c(2);
+  c.put(1, 1);
+  c.put(2, 2);
+  c.put(3, 3);              // eviction
+  EXPECT_NE(c.get(3), nullptr);  // hit
+  EXPECT_EQ(c.get(99), nullptr);  // miss (and the failed get(1) above: none)
+  EXPECT_GT(c.evictions(), 0u);
+  c.clear();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.evictions(), 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
+TEST(LruCacheTest, ResetStatsKeepsContents) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  EXPECT_NE(c.get(1), nullptr);
+  c.reset_stats();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_NE(c.get(1), nullptr);
+}
+
 TEST(LruCacheTest, StressManyInsertionsStaysBounded) {
   LruCache<int, int> c(16);
   for (int i = 0; i < 10000; ++i) c.put(i, i);

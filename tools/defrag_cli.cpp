@@ -3,6 +3,7 @@
 //   defrag-cli backup   --engine defrag --generations 10 [--alpha 0.1]
 //                       [--users 1] [--seed N] [--files N] [--verify]
 //                       [--scrub] [--gc-keep N]
+//                       [--metrics-json FILE] [--trace-out FILE]
 //   defrag-cli trace    --generations 10 --out trace.dftr [--users 5]
 //   defrag-cli analyze  --in trace.dftr
 //   defrag-cli engines
@@ -11,8 +12,11 @@
 // per-generation metrics plus a summary; `--verify` restores and checks
 // every generation, `--scrub` re-fingerprints every referenced extent, and
 // `--gc-keep N` runs the re-linearizing compactor keeping the last N
-// generations. `trace` records the series' chunk sequence to a portable
-// .dftr file; `analyze` reports dedup statistics of any such file.
+// generations. `--metrics-json` dumps the full metrics registry
+// (schema defrag.metrics.v1, see docs/OBSERVABILITY.md) and `--trace-out`
+// writes a Chrome trace-event file loadable at https://ui.perfetto.dev.
+// `trace` records the series' chunk sequence to a portable .dftr file;
+// `analyze` reports dedup statistics of any such file.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +30,8 @@
 #include "common/units.h"
 #include "core/dedup_system.h"
 #include "dedup/integrity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/compactor.h"
 #include "workload/backup_series.h"
 #include "workload/trace.h"
@@ -100,6 +106,9 @@ int cmd_backup(const Args& args) {
       static_cast<std::uint32_t>(std::stoul(args.get("users", "1")));
   const std::uint64_t seed = std::stoull(args.get("seed", "42"));
   const bool verify = args.flag("verify");
+  const std::string metrics_path = args.get("metrics-json", "");
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   EngineConfig cfg;
   cfg.defrag_alpha = std::stod(args.get("alpha", "0.1"));
@@ -109,17 +118,26 @@ int cmd_backup(const Args& args) {
   workload::SingleUserSeries single(seed, fs);
   workload::MultiUserSeries multi(seed, fs);
 
+  auto& registry = obs::MetricsRegistry::global();
   std::vector<Sha256::Digest> digests;
   Table t({"gen", "user", "logical", "unique", "removed", "rewritten",
-           "MB_s"});
+           "MB_s", "seeks", "pg_flt"});
   for (std::uint32_t g = 1; g <= generations; ++g) {
     const workload::Backup b = users > 1 ? multi.next() : single.next();
     if (verify) digests.push_back(Sha256::hash(b.stream));
+    // Per-generation attribution: diff the cumulative registry around the
+    // ingest (the registry itself only ever accumulates).
+    const obs::MetricsSnapshot before = registry.snapshot();
     const BackupResult r = sys.ingest_as(g, b.stream);
+    const obs::MetricsSnapshot after = registry.snapshot();
+    const std::uint64_t page_faults =
+        obs::counter_delta(before, after, "index.paged.page_faults");
     t.add_row({Table::integer(g), Table::integer(b.user),
                format_bytes(r.logical_bytes), format_bytes(r.unique_bytes),
                format_bytes(r.removed_bytes), format_bytes(r.rewritten_bytes),
-               Table::num(r.throughput_mb_s(), 1)});
+               Table::num(r.throughput_mb_s(), 1),
+               Table::integer(static_cast<long long>(r.io.seeks)),
+               Table::integer(static_cast<long long>(page_faults))});
   }
   t.print();
 
@@ -177,6 +195,29 @@ int cmd_backup(const Args& args) {
         keep_n, format_bytes(gc.dead_bytes).c_str(),
         gc.reclaimed_fraction() * 100.0, gc.containers_before,
         gc.containers_after);
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    obs::write_metrics_json(registry.snapshot(), out);
+    std::printf("metrics: wrote %zu metrics to %s\n", registry.size(),
+                metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      return 2;
+    }
+    auto& recorder = obs::TraceRecorder::global();
+    recorder.write_chrome_json(out);
+    std::printf("trace: wrote %zu events to %s (load at ui.perfetto.dev)\n",
+                recorder.event_count(), trace_path.c_str());
   }
   return 0;
 }
@@ -252,7 +293,11 @@ int main(int argc, char** argv) {
   if (!args) {
     std::fprintf(stderr,
                  "usage: defrag-cli <backup|trace|analyze|engines> "
-                 "[--option value]...\n");
+                 "[--option value]...\n"
+                 "  backup: --engine NAME --generations N [--alpha A]\n"
+                 "          [--users N] [--seed N] [--files N] [--verify]\n"
+                 "          [--scrub] [--gc-keep N] [--metrics-json FILE]\n"
+                 "          [--trace-out FILE]\n");
     return 2;
   }
   if (args->command == "engines") return cmd_engines();
