@@ -3,6 +3,10 @@
 // benches and as the simplest possible Chunker implementation.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "chunking/chunker.h"
 
 namespace defrag {

@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "chunking/chunker.h"
 

@@ -9,6 +9,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "chunking/chunker.h"
 

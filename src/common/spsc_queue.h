@@ -4,6 +4,26 @@
 // Classic Lamport queue with C++20 atomics: the producer only writes `head_`,
 // the consumer only writes `tail_`, and each caches the other's index to
 // avoid ping-ponging the cache line on every operation.
+//
+// Lock-free contract (this type is intentionally outside the Mutex/
+// DEFRAG_GUARDED_BY discipline of common/sync.h — there is no lock to
+// annotate, so the memory-ordering argument lives here and the TSan CI job
+// checks it dynamically):
+//
+//  - Exactly ONE thread may call the producer side (try_push/push) and
+//    exactly ONE thread the consumer side (try_pop) over the queue's
+//    lifetime. Debug builds enforce this with thread-id DCHECKs below.
+//  - Publication: the producer's slot write happens-before the consumer's
+//    slot read because the producer RELEASE-stores head_ after writing the
+//    slot, and the consumer ACQUIRE-loads head_ before reading it.
+//  - Reclamation: the consumer's slot read happens-before the producer's
+//    slot overwrite because the consumer RELEASE-stores tail_ after moving
+//    the value out, and the producer ACQUIRE-loads tail_ before reusing the
+//    slot.
+//  - Each side's load of its OWN index is relaxed: only that thread writes
+//    it, so there is nothing to synchronize with.
+//  - Destruction is the caller's problem: both sides must have quiesced
+//    (e.g. the consumer joined) before the queue is destroyed.
 #pragma once
 
 #include <atomic>
@@ -12,6 +32,8 @@
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include <thread>
 
 #include "common/check.h"
 
@@ -37,33 +59,57 @@ class SpscQueue {
 
   /// Producer side. Returns false when full.
   bool try_push(T value) {
+    debug_check_role(producer_);
+    // Own index: relaxed, only this thread writes head_.
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
+      // Acquire pairs with the consumer's release store of tail_: after
+      // this load we may safely overwrite slots the consumer vacated.
       cached_tail_ = tail_.load(std::memory_order_acquire);
       if (head - cached_tail_ > mask_) return false;
     }
+    DEFRAG_DCHECK(head - cached_tail_ <= mask_);  // never clobber unread slots
     slots_[head & mask_] = std::move(value);
+    // Release publishes the slot write above to the consumer's acquire
+    // load of head_.
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. Returns std::nullopt when empty.
   std::optional<T> try_pop() {
+    debug_check_role(consumer_);
+    // Own index: relaxed, only this thread writes tail_.
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == cached_head_) {
+      // Acquire pairs with the producer's release store of head_: after
+      // this load the slot contents are visible.
       cached_head_ = head_.load(std::memory_order_acquire);
       if (tail == cached_head_) return std::nullopt;
     }
+    DEFRAG_DCHECK(cached_head_ - tail <= mask_ + 1);  // <= capacity in flight
     T value = std::move(slots_[tail & mask_]);
+    // Release hands the vacated slot back to the producer's acquire load
+    // of tail_.
     tail_.store(tail + 1, std::memory_order_release);
     return value;
   }
 
   /// Spin-push for pipeline stages where the downstream is guaranteed alive.
+  /// Waits for a free slot BEFORE moving the value in: a retry loop around
+  /// try_push(std::move(value)) would move the payload into the failed
+  /// call's parameter and then push a moved-from shell on the next attempt
+  /// (caught by the pipeline stress test with unique_ptr payloads).
   void push(T value) {
-    while (!try_push(std::move(value))) {
+    debug_check_role(producer_);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    while (head - cached_tail_ > mask_) {
       // The pipeline stages are balanced; short spins beat parking here.
+      // Acquire pairs with the consumer's release store of tail_.
+      cached_tail_ = tail_.load(std::memory_order_acquire);
     }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
   }
 
   std::size_t capacity() const { return mask_ + 1; }
@@ -75,6 +121,24 @@ class SpscQueue {
   }
 
  private:
+  /// First caller claims the role; every later call must come from the same
+  /// thread. This turns a silent memory-ordering violation (two producers)
+  /// into a deterministic debug failure. Compiled out under NDEBUG.
+  void debug_check_role(std::atomic<std::thread::id>& role) const {
+#ifndef NDEBUG
+    std::thread::id expected{};
+    const std::thread::id self = std::this_thread::get_id();
+    if (!role.compare_exchange_strong(expected, self,
+                                      std::memory_order_relaxed)) {
+      DEFRAG_CHECK_MSG(expected == self,
+                       "SpscQueue role used from a second thread; the "
+                       "contract is single-producer/single-consumer");
+    }
+#else
+    (void)role;
+#endif
+  }
+
   const std::size_t mask_;
   std::vector<T> slots_;
 
@@ -82,6 +146,10 @@ class SpscQueue {
   alignas(kCacheLine) std::size_t cached_tail_ = 0;
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
   alignas(kCacheLine) std::size_t cached_head_ = 0;
+
+  // Role claims for debug_check_role(); unused (but cheap) under NDEBUG.
+  mutable std::atomic<std::thread::id> producer_{};
+  mutable std::atomic<std::thread::id> consumer_{};
 };
 
 }  // namespace defrag

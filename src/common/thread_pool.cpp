@@ -16,24 +16,35 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
+    // packaged_task captured any exception into the future; the closure
+    // itself never throws, so the task counts as completed either way.
+    {
+      MutexLock lock(mu_);
+      ++stats_.completed;
+    }
   }
 }
 

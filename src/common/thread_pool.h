@@ -1,19 +1,32 @@
 // A small fixed-size thread pool for parallel fingerprinting and benchmark
 // fan-out. Tasks are type-erased std::move_only_function-style closures.
+//
+// Thread safety: submit()/parallel_for()/stats() may be called from any
+// thread, concurrently with the workers. The queue and lifecycle flags are
+// guarded by mu_ and statically checked via the annotations in
+// common/sync.h; the destructor must not race with submit() (callers own
+// that ordering, as with any object's destruction).
 #pragma once
 
-#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace defrag {
 
 class ThreadPool {
  public:
+  /// Point-in-time task accounting (see stats()).
+  struct Stats {
+    std::uint64_t submitted = 0;  // tasks accepted by submit()
+    std::uint64_t completed = 0;  // tasks whose closure returned or threw
+  };
+
   /// Spawns `threads` workers (>= 1).
   explicit ThreadPool(std::size_t threads);
 
@@ -30,8 +43,9 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
+      ++stats_.submitted;
     }
     cv_.notify_one();
     return fut;
@@ -40,15 +54,23 @@ class ThreadPool {
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Snapshot of the task counters; submitted >= completed always, and they
+  /// are equal once every returned future has been waited on.
+  Stats stats() const DEFRAG_EXCLUDES(mu_);
+
   std::size_t thread_count() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() DEFRAG_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ DEFRAG_GUARDED_BY(mu_);
+  bool stopping_ DEFRAG_GUARDED_BY(mu_) = false;
+  Stats stats_ DEFRAG_GUARDED_BY(mu_);
+  // Written only by the constructor; workers never touch it. Not guarded:
+  // thread_count() is safe exactly because construction happens-before any
+  // other use of the pool.
   std::vector<std::thread> workers_;
 };
 

@@ -11,6 +11,9 @@
 // per backup regardless of how fragmented the stream is.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "dedup/ddfs_engine.h"
 
 namespace defrag {

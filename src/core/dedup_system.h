@@ -8,7 +8,9 @@
 // generations, and offers integrity-checked restore.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dedup/engine.h"

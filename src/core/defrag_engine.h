@@ -26,6 +26,9 @@
 // the paper evaluates alpha = 0.1.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "dedup/ddfs_engine.h"
 
 namespace defrag {

@@ -15,6 +15,10 @@
 // subsequent chunks, and throughput decays — the effect of paper Fig. 2.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <string>
+
 #include "dedup/engine.h"
 #include "dedup/metadata_cache.h"
 #include "index/bloom_filter.h"

@@ -9,6 +9,12 @@
 // This accelerates *wall-clock* experiment time only; simulated dedup time
 // is governed by EngineConfig::cpu_mb_per_s regardless, so parallelism never
 // distorts the reproduced figures.
+//
+// Thread safety: run() may be called from one thread at a time per pipeline
+// (it owns a ThreadPool whose workers write disjoint ranges of the result
+// vector; the joining futures publish those writes back to the caller).
+// Distinct StreamPipeline instances are independent and may run
+// concurrently; the shared Chunker is only read.
 #pragma once
 
 #include <cstddef>

@@ -12,8 +12,11 @@
 // a segment's duplicates over more blocks.
 #pragma once
 
+#include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "dedup/engine.h"
 #include "index/similarity_index.h"

@@ -10,6 +10,8 @@
 // missed and stored again.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 

@@ -10,6 +10,12 @@
 // Inserts are buffered and flushed sequentially (as DDFS does with its
 // log-structured index updates), so they charge amortized sequential writes,
 // not seeks.
+//
+// Thread safety: thread-compatible, not thread-safe. lookup() mutates the
+// page cache even though it is conceptually a read, so ALL access — reads
+// included — must be confined to one thread or externally synchronized.
+// The lookups_/page_faults_ counters are process-wide relaxed atomics and
+// impose no ordering of their own.
 #pragma once
 
 #include <cstdint>

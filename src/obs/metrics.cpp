@@ -36,6 +36,7 @@ const char* kind_name(MetricKind k) {
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked on purpose: instrumented objects cache handles and may be
   // destroyed after static teardown begins.
+  // defrag-lint: allow=raw-new (intentional never-freed singleton)
   static MetricsRegistry* g = new MetricsRegistry();
   return *g;
 }
@@ -44,7 +45,7 @@ MetricsRegistry::Slot& MetricsRegistry::slot_for(std::string_view name,
                                                  MetricKind kind) {
   DEFRAG_CHECK_MSG(valid_name(name),
                    "metric names are non-empty [a-zA-Z0-9._-]");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = slots_.find(name);
   if (it == slots_.end()) {
     Slot slot;
@@ -110,7 +111,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, slot] : slots_) {
     switch (slot.kind) {
       case MetricKind::kCounter:
@@ -129,12 +130,12 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return slots_.size();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.entries.reserve(slots_.size());
   for (const auto& [name, slot] : slots_) {  // std::map: sorted by name

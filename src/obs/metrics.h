@@ -29,12 +29,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/sync.h"
 
 namespace defrag::obs {
 
@@ -161,10 +161,16 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Slot& slot_for(std::string_view name, MetricKind kind);
+  Slot& slot_for(std::string_view name, MetricKind kind) DEFRAG_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Slot, std::less<>> slots_;
+  // mu_ guards the name->slot map only. The Counter/Gauge/Histogram objects
+  // the slots point at are deliberately NOT guarded: handles outlive the
+  // critical section (that is the whole point of slot stability), and their
+  // own update rules — relaxed atomics for Counter/Gauge, single-thread or
+  // shard-and-merge for Histogram — are documented at the class definitions
+  // above.
+  mutable Mutex mu_;
+  std::map<std::string, Slot, std::less<>> slots_ DEFRAG_GUARDED_BY(mu_);
 };
 
 /// Stable machine-readable export — schema "defrag.metrics.v1". This is the

@@ -22,13 +22,14 @@ TraceRecorder::TraceRecorder() : epoch_(Clock::now()) {}
 
 TraceRecorder& TraceRecorder::global() {
   // Leaked on purpose, like MetricsRegistry::global().
+  // defrag-lint: allow=raw-new (intentional never-freed singleton)
   static TraceRecorder* g = new TraceRecorder();
   return *g;
 }
 
 void TraceRecorder::enable() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!epoch_anchored_) {
       epoch_ = Clock::now();
       epoch_anchored_ = true;
@@ -58,7 +59,7 @@ void TraceRecorder::record_complete(std::string_view name,
   e.category = category;
   e.phase = 'X';
   e.tid = current_tid();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   e.ts_us = us_since_epoch(begin);
   e.dur_us = us_since_epoch(end) - e.ts_us;
   events_.push_back(std::move(e));
@@ -72,28 +73,28 @@ void TraceRecorder::record_instant(std::string_view name,
   e.category = category;
   e.phase = 'i';
   e.tid = current_tid();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   e.ts_us = us_since_epoch(Clock::now());
   events_.push_back(std::move(e));
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
 }
 
 std::size_t TraceRecorder::event_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 void TraceRecorder::write_chrome_json(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   for (const TraceEvent& e : events_) {

@@ -15,10 +15,11 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace defrag::obs {
 
@@ -60,13 +61,16 @@ class TraceRecorder {
   void write_chrome_json(std::ostream& os) const;
 
  private:
-  std::uint64_t us_since_epoch(Clock::time_point t) const;
+  std::uint64_t us_since_epoch(Clock::time_point t) const DEFRAG_REQUIRES(mu_);
 
+  // enabled_ is the lock-free fast path (two relaxed loads per disarmed
+  // span); everything the recorder mutates — the event log and the epoch —
+  // is guarded by mu_.
   std::atomic<bool> enabled_{false};
-  Clock::time_point epoch_;
-  bool epoch_anchored_ = false;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  Clock::time_point epoch_ DEFRAG_GUARDED_BY(mu_);
+  bool epoch_anchored_ DEFRAG_GUARDED_BY(mu_) = false;
+  std::vector<TraceEvent> events_ DEFRAG_GUARDED_BY(mu_);
 };
 
 /// RAII span: records a complete event over its lifetime when the recorder

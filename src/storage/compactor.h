@@ -16,6 +16,11 @@
 // This is an offline operation: engine read structures (indexes, caches,
 // similarity tables) reference the old store and must be rebuilt or
 // discarded afterwards; the compactor returns a fresh store + recipes.
+//
+// Thread safety: compact() is const and touches only its arguments plus
+// process-wide metric counters (relaxed atomics), so one Compactor may be
+// shared across threads — but each concurrent call needs its own source/
+// destination stores and DiskSim, which are thread-compatible themselves.
 #pragma once
 
 #include <cstdint>

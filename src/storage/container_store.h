@@ -4,6 +4,12 @@
 // and flushed (sequential write, charged to the caller's DiskSim). Readers
 // load whole containers or just their metadata sections, each costing one
 // seek plus the transfer.
+//
+// Thread safety: thread-compatible, not thread-safe — a store (and its
+// DiskSim) must be confined to one thread or externally synchronized; there
+// is deliberately no internal Mutex on the append path. The only members
+// touched from concurrent contexts are the ObsHandles counters, which are
+// process-wide relaxed atomics (see obs/metrics.h) and safe from any thread.
 #pragma once
 
 #include <cstdint>

@@ -77,14 +77,14 @@ INSTANTIATE_TEST_SUITE_P(
                           SweepCase{2048, 8192, 65536},
                           SweepCase{4096, 16384, 131072},
                           SweepCase{1024, 1024, 1024})),
-    [](const ::testing::TestParamInfo<Param>& info) {
+    [](const ::testing::TestParamInfo<Param>& tpi) {
       std::string name;
-      switch (std::get<0>(info.param)) {
+      switch (std::get<0>(tpi.param)) {
         case ChunkerKind::kRabin: name = "rabin"; break;
         case ChunkerKind::kGear: name = "gear"; break;
         case ChunkerKind::kFixed: name = "fixed"; break;
       }
-      const SweepCase& c = std::get<1>(info.param);
+      const SweepCase& c = std::get<1>(tpi.param);
       return name + "_" + std::to_string(c.min) + "_" + std::to_string(c.avg) +
              "_" + std::to_string(c.max);
     });

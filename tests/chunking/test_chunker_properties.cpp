@@ -70,15 +70,15 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::size_t{4096},
                                          std::size_t{1} << 20),
                        ::testing::Values(std::uint64_t{1}, std::uint64_t{77})),
-    [](const ::testing::TestParamInfo<Param>& info) {
+    [](const ::testing::TestParamInfo<Param>& tpi) {
       std::string name;
-      switch (std::get<0>(info.param)) {
+      switch (std::get<0>(tpi.param)) {
         case ChunkerKind::kRabin: name = "rabin"; break;
         case ChunkerKind::kGear: name = "gear"; break;
         case ChunkerKind::kFixed: name = "fixed"; break;
       }
-      return name + "_" + std::to_string(std::get<1>(info.param)) + "b_seed" +
-             std::to_string(std::get<2>(info.param));
+      return name + "_" + std::to_string(std::get<1>(tpi.param)) + "b_seed" +
+             std::to_string(std::get<2>(tpi.param));
     });
 
 TEST(ChunkerParamsTest, ValidateRejectsBadBounds) {

@@ -83,9 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::size_t{63}, std::size_t{4096},
                                          std::size_t{100000}),
                        ::testing::Values(std::uint64_t{1})),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return content_name(std::get<0>(info.param)) + "_" +
-             std::to_string(std::get<1>(info.param)) + "b";
+    [](const ::testing::TestParamInfo<Param>& tpi) {
+      return content_name(std::get<0>(tpi.param)) + "_" +
+             std::to_string(std::get<1>(tpi.param)) + "b";
     });
 
 }  // namespace

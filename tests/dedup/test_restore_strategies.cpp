@@ -65,8 +65,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, RestoreStrategyTest,
                          ::testing::Values(RestoreStrategy::kContainerLru,
                                            RestoreStrategy::kChunkLru,
                                            RestoreStrategy::kForwardAssembly),
-                         [](const auto& info) {
-                           std::string n = to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string n = to_string(tpi.param);
                            for (auto& ch : n) {
                              if (ch == '-') ch = '_';
                            }

@@ -27,7 +27,7 @@ TEST(FeaturesTest, SimilarChunksShareMostSuperFeatures) {
   for (int trial = 0; trial < kTrials; ++trial) {
     const Bytes base = testing::random_bytes(8192, 702 + static_cast<std::uint64_t>(trial));
     Bytes edited = base;
-    edited[4000 + trial] ^= 0xff;  // one-byte edit
+    edited[static_cast<std::size_t>(4000 + trial)] ^= 0xff;  // one-byte edit
     total_shared += static_cast<int>(
         compute_features(base).shared_with(compute_features(edited)));
   }

@@ -115,12 +115,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          EngineKind::kDefrag,
                                          EngineKind::kCbr),
                        ::testing::Values(std::uint64_t{11}, std::uint64_t{22})),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = to_string(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<Param>& tpi) {
+      std::string name = to_string(std::get<0>(tpi.param));
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(tpi.param));
     });
 
 }  // namespace

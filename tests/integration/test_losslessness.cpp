@@ -54,9 +54,9 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, LosslessnessTest,
                                            EngineKind::kSparse,
                                            EngineKind::kDefrag,
                                            EngineKind::kCbr),
-                         [](const auto& info) {
-                           return to_string(info.param).substr(
-                               0, to_string(info.param).find('-'));
+                         [](const auto& tpi) {
+                           return to_string(tpi.param).substr(
+                               0, to_string(tpi.param).find('-'));
                          });
 
 // Losslessness must also survive local container compression: the physical

@@ -87,7 +87,9 @@ TEST(FsModelTest, FileIdsStaysSortedAndUnique) {
   std::uint64_t prev = 0;
   bool first = true;
   for (const auto& f : fs.files()) {
-    if (!first) EXPECT_GT(f.file_id, prev);
+    if (!first) {
+      EXPECT_GT(f.file_id, prev);
+    }
     prev = f.file_id;
     first = false;
   }

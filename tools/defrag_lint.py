@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant checker for the DeFrag codebase.
+
+Enforces conventions clang-tidy cannot express:
+
+  metric-docs     every metric dot-name registered in C++ appears in
+                  docs/OBSERVABILITY.md, and every concrete metric name the
+                  doc claims exists is actually registered in code
+  header-pragma   every header under src/ starts its include guard with
+                  `#pragma once`
+  header-iwyu     include-what-you-use spot check: a header whose own text
+                  names a common std:: type must include the matching
+                  standard header itself (no transitive freeloading)
+  raw-new         no raw `new` / `delete` outside storage arenas; owning
+                  allocations go through unique_ptr/vector
+  rand            no libc rand()/srand(); use common/rng.h (deterministic,
+                  seedable — reproductions must replay bit-identically)
+  cout            no std::cout/std::cerr inside src/ (library code reports
+                  through return values, obs metrics, or exceptions; the
+                  CLI/bench/example binaries may print)
+  catch-all       no `catch (...)` that swallows without rethrowing
+  cmake-naming    library targets in src/ are named defrag_<dir>, and
+                  ctest names registered via add_test() are [a-z0-9_]+
+
+Waivers: a finding on line N is suppressed when line N or N-1 contains
+`defrag-lint: allow=<check-name>` with a justification in the comment.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+
+Only the Python 3 standard library is used; runs from any cwd.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_EXTS = {".cpp", ".h"}
+
+# Directories scanned for C++ sources (build trees excluded by construction).
+CPP_DIRS = ("src", "tests", "tools", "bench", "examples")
+
+# Metric-name roots the registry actually uses; doc tokens outside these
+# roots (file names, schema ids) are not metric claims.
+METRIC_ROOTS = ("engine.", "storage.", "index.", "dedup.", "stage.",
+                "pipeline.", "system.")
+
+IWYU_SPOT = {
+    "std::string": "<string>",
+    "std::string_view": "<string_view>",
+    "std::vector": "<vector>",
+    "std::optional": "<optional>",
+    "std::unordered_map": "<unordered_map>",
+    "std::map": "<map>",
+    "std::deque": "<deque>",
+    "std::atomic": "<atomic>",
+    "std::function": "<functional>",
+    "std::unique_ptr": "<memory>",
+    "std::shared_ptr": "<memory>",
+    "std::uint64_t": "<cstdint>",
+    "std::uint32_t": "<cstdint>",
+    "std::int64_t": "<cstdint>",
+    "std::thread": "<thread>",
+    "std::future": "<future>",
+}
+
+
+def cpp_files():
+    for d in CPP_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            yield from (p for p in sorted(root.rglob("*"))
+                        if p.suffix in SRC_EXTS)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line count.
+
+    Good enough for a lint: handles // and /* */ comments and simple
+    quoted literals; raw strings in this codebase are absent by convention.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote)
+            out.append(quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, check, path, lineno, message, lines=None):
+        """Record a finding unless waived on this or the previous line."""
+        if lines is not None and lineno >= 1:
+            window = lines[max(0, lineno - 2):lineno]  # lines N-1 and N
+            if any(f"defrag-lint: allow={check}" in ln for ln in window):
+                return
+        rel = path.relative_to(REPO) if isinstance(path, Path) else path
+        self.findings.append(f"{rel}:{lineno}: [{check}] {message}")
+
+    # ---- metric-name <-> docs cross-check --------------------------------
+
+    def check_metric_docs(self):
+        doc_path = REPO / "docs" / "OBSERVABILITY.md"
+        if not doc_path.is_file():
+            self.report("metric-docs", doc_path, 0,
+                        "docs/OBSERVABILITY.md is missing")
+            return
+        doc = doc_path.read_text(encoding="utf-8")
+        doc_tokens = set(re.findall(r"`([a-z0-9_.<>*-]+)`", doc))
+        doc_full = {t for t in doc_tokens
+                    if "." in t and "*" not in t and "<" not in t}
+        # Doc->code claims come only from the "Naming scheme" section: that
+        # section is the metric contract. Elsewhere backticks also quote
+        # trace span names and examples, which are not registrations.
+        scheme = doc.split("## Naming scheme", 1)[-1].split("\n## ", 1)[0]
+        doc_claims = {t for t in re.findall(r"`([a-z0-9_.-]+)`", scheme)
+                      if "." in t and t.startswith(METRIC_ROOTS)}
+        doc_bare = {t for t in doc_tokens if "." not in t}
+        doc_wild = [t for t in doc_tokens if "*" in t or "<" in t]
+        wild_res = [re.compile(
+            "^" + re.escape(t).replace(r"\*", r"[a-z0-9_.]+")
+                              .replace(r"<slug>", r"[a-z0-9_]+") + "$")
+            for t in doc_wild]
+
+        # Code side: literal full names, and `<expr> + "suffix"` names that
+        # acquire an engine.<slug>. prefix at runtime.
+        call_re = re.compile(
+            r"\b(?:counter|gauge|histogram)\s*\(\s*\"([a-z0-9_.-]+)\"")
+        suffix_re = re.compile(
+            r"\b(?:counter|gauge|histogram)\s*\(\s*[A-Za-z_][\w().:]*\s*\+\s*"
+            r"\"([a-z0-9_.-]+)\"")
+        code_full, code_suffix = {}, {}
+        for path in cpp_files():
+            if REPO / "src" not in path.parents:
+                continue  # tests/bench register scratch names freely
+            text = path.read_text(encoding="utf-8")
+            for m in call_re.finditer(text):
+                code_full.setdefault(m.group(1), (path, text))
+            for m in suffix_re.finditer(text):
+                code_suffix.setdefault(m.group(1), (path, text))
+
+        def lineno_of(text, needle):
+            pos = text.find(needle)
+            return text.count("\n", 0, pos) + 1 if pos >= 0 else 0
+
+        for name, (path, text) in sorted(code_full.items()):
+            documented = (name in doc_full
+                          or (name.rsplit(".", 1)[-1] in doc_bare
+                              and any(r.match(name) for r in wild_res)))
+            if not documented:
+                self.report("metric-docs", path, lineno_of(text, f'"{name}"'),
+                            f"metric '{name}' is registered in code but not "
+                            "documented in docs/OBSERVABILITY.md")
+        for suffix, (path, text) in sorted(code_suffix.items()):
+            last = suffix.rsplit(".", 1)[-1]
+            if last not in doc_bare and not any(
+                    t.endswith("." + last) for t in doc_full):
+                self.report("metric-docs", path,
+                            lineno_of(text, f'"{suffix}"'),
+                            f"prefixed metric suffix '{suffix}' is not "
+                            "documented in docs/OBSERVABILITY.md")
+        for name in sorted(doc_claims):
+            known = (name in code_full
+                     or name.rsplit(".", 1)[-1] in code_suffix)
+            if not known:
+                self.report("metric-docs", doc_path,
+                            lineno_of(doc, name),
+                            f"doc claims metric '{name}' but no code "
+                            "registers it")
+
+    # ---- header checks ----------------------------------------------------
+
+    def check_headers(self):
+        for path in cpp_files():
+            if path.suffix != ".h" or REPO / "src" not in path.parents:
+                continue
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            if "#pragma once" not in text:
+                self.report("header-pragma", path, 1,
+                            "header lacks `#pragma once`", lines)
+            stripped = strip_comments_and_strings(text)
+            includes = set(re.findall(r"#include\s+([<\"][^>\"]+[>\"])",
+                                      stripped))
+            std_includes = {inc for inc in includes if inc.startswith("<")}
+            for token, header in IWYU_SPOT.items():
+                if re.search(re.escape(token) + r"\b", stripped) and \
+                        header not in std_includes:
+                    lineno = next((i + 1 for i, ln in enumerate(lines)
+                                   if token in ln), 1)
+                    self.report("header-iwyu", path, lineno,
+                                f"uses {token} but does not include {header}",
+                                lines)
+
+    # ---- banned patterns --------------------------------------------------
+
+    def check_banned(self):
+        raw_new_re = re.compile(r"\bnew\s+[A-Za-z_][\w:]*")
+        raw_delete_re = re.compile(r"\bdelete(\[\])?\s+[A-Za-z_]")
+        rand_re = re.compile(r"\b(?:s?rand)\s*\(")
+        cout_re = re.compile(r"\bstd::c(?:out|err)\b")
+        catch_all_re = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+        for path in cpp_files():
+            text = path.read_text(encoding="utf-8")
+            stripped = strip_comments_and_strings(text)
+            lines = text.splitlines()
+            in_src = REPO / "src" in path.parents
+            for i, ln in enumerate(stripped.splitlines(), start=1):
+                if rand_re.search(ln):
+                    self.report("rand", path, i,
+                                "libc rand()/srand() is banned; use "
+                                "common/rng.h (seedable, reproducible)",
+                                lines)
+                if in_src:
+                    if raw_new_re.search(ln) or raw_delete_re.search(ln):
+                        self.report("raw-new", path, i,
+                                    "raw new/delete outside storage arenas; "
+                                    "use unique_ptr/vector or waive with a "
+                                    "justification", lines)
+                    if cout_re.search(ln):
+                        self.report("cout", path, i,
+                                    "std::cout/std::cerr in library code; "
+                                    "report via obs metrics, return values "
+                                    "or exceptions", lines)
+                m = catch_all_re.search(ln)
+                if m:
+                    # The handler must rethrow: look for `throw;` within the
+                    # next few lines (brace-matching is overkill for a lint).
+                    tail = "\n".join(stripped.splitlines()[i - 1:i + 9])
+                    if not re.search(r"\bthrow\s*;", tail):
+                        self.report("catch-all", path, i,
+                                    "catch (...) without rethrow swallows "
+                                    "errors; rethrow or catch a concrete "
+                                    "type", lines)
+
+    # ---- CMake conventions ------------------------------------------------
+
+    def check_cmake(self):
+        lib_re = re.compile(r"add_library\s*\(\s*([A-Za-z0-9_-]+)")
+        test_re = re.compile(r"add_test\s*\(\s*NAME\s+([^\s)]+)")
+        for path in sorted(REPO.rglob("CMakeLists.txt")):
+            if "build" in path.parts or REPO / "related" in path.parents:
+                continue
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            in_src = REPO / "src" in path.parents
+            for i, ln in enumerate(lines, start=1):
+                m = lib_re.search(ln)
+                if m and in_src:
+                    name = m.group(1)
+                    expected = f"defrag_{path.parent.name}"
+                    if name != expected:
+                        self.report("cmake-naming", path, i,
+                                    f"library '{name}' should be named "
+                                    f"'{expected}' (defrag_<dir>)", lines)
+                m = test_re.search(ln)
+                if m and not re.fullmatch(r"[a-z0-9_]+", m.group(1)):
+                    self.report("cmake-naming", path, i,
+                                f"test name '{m.group(1)}' must be "
+                                "[a-z0-9_]+", lines)
+
+    def run(self):
+        self.check_metric_docs()
+        self.check_headers()
+        self.check_banned()
+        self.check_cmake()
+        return self.findings
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="DeFrag repo lint (see module docstring for checks)",
+        epilog="exit codes: 0 clean, 1 findings, 2 usage/internal error")
+    ap.add_argument("--list-checks", action="store_true",
+                    help="print check names and exit")
+    args = ap.parse_args()
+    if args.list_checks:
+        print("metric-docs header-pragma header-iwyu raw-new rand cout "
+              "catch-all cmake-naming")
+        return 0
+    findings = Linter().run()
+    for f in findings:
+        print(f)
+    print(f"defrag_lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except Exception as exc:  # noqa: BLE001 — lint must not die silently
+        print(f"defrag_lint: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)

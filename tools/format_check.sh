@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Formatting gate over every tracked C++ source, driven by the repo-root
+# .clang-format.
+#
+#   tools/format_check.sh         check only; exit 1 on violations
+#   tools/format_check.sh --fix   rewrite files in place
+#
+# When clang-format is not installed (the default dev container ships only
+# GCC) the check SKIPS with exit 0 so local ctest stays green; the CI lint
+# job installs clang-format and enforces it for real.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+      clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "format_check: clang-format not found; skipping (CI enforces this)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.h' '*.cpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "format_check: no C++ sources tracked" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format_check: reformatted ${#files[@]} files"
+else
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "format_check: ${#files[@]} files clean"
+fi

@@ -18,6 +18,11 @@ watched; wall-clock histograms ("system.*", "stage.*", "pipeline.*") are
 excluded because they measure the machine, not the algorithm. --watch
 overrides the watch list; --all prints unchanged metrics too.
 
+Exit codes (the CI contract, self-tested by tools/test_metrics_diff.py):
+    0   compared cleanly, no watched metric moved past the threshold
+    1   at least one regression (or a metric changed type)
+    2   usage error, unreadable/unparseable input, or wrong schema
+
 Only the Python 3 standard library is used.
 """
 
@@ -39,11 +44,20 @@ def scalar_of(entry):
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+    """Read one snapshot; any failure is a usage error (exit 2)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+        sys.exit(2)
     if doc.get("schema") != "defrag.metrics.v1":
-        sys.exit(f"{path}: not a defrag.metrics.v1 snapshot "
-                 f"(schema={doc.get('schema')!r})")
+        print(f"{path}: not a defrag.metrics.v1 snapshot "
+              f"(schema={doc.get('schema')!r})", file=sys.stderr)
+        sys.exit(2)
     return doc["metrics"]
 
 
@@ -63,7 +77,9 @@ def fmt_change(rel):
 
 def main():
     ap = argparse.ArgumentParser(
-        description="diff two defrag.metrics.v1 snapshots")
+        description="diff two defrag.metrics.v1 snapshots",
+        epilog="exit codes: 0 no regressions; 1 regressions or type "
+               "changes; 2 usage/IO/schema error")
     ap.add_argument("baseline")
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=5.0,

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Self-test for tools/metrics_diff.py — the CI regression gate must itself
+be tested, or a silent breakage (always-exit-0) would wave regressions
+through. Run directly or via the `tools_metrics_diff_selftest` ctest.
+
+Pytest-style test functions over subprocess invocations of the real script;
+only the standard library is used (unittest runner, no pytest dependency).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent / "metrics_diff.py"
+
+
+def snapshot(metrics):
+    return {"schema": "defrag.metrics.v1", "metrics": metrics}
+
+
+def counter(value):
+    return {"type": "counter", "value": value}
+
+
+def run_diff(*args):
+    return subprocess.run([sys.executable, str(TOOL), *args],
+                          capture_output=True, text=True, check=False)
+
+
+class MetricsDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = Path(self.tmp.name) / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def test_identical_snapshots_exit_0(self):
+        a = self.write("a.json", snapshot({"engine.x.io_seeks": counter(100)}))
+        res = run_diff(a, a)
+        self.assertEqual(res.returncode, 0, res.stdout + res.stderr)
+
+    def test_watched_regression_exits_1(self):
+        a = self.write("a.json", snapshot({"engine.x.io_seeks": counter(100)}))
+        b = self.write("b.json", snapshot({"engine.x.io_seeks": counter(200)}))
+        res = run_diff(a, b)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("REGRESSION", res.stdout)
+
+    def test_unwatched_change_exits_0(self):
+        a = self.write("a.json", snapshot({"stage.prepare_us": counter(100)}))
+        b = self.write("b.json", snapshot({"stage.prepare_us": counter(900)}))
+        self.assertEqual(run_diff(a, b).returncode, 0)
+
+    def test_change_below_threshold_exits_0(self):
+        a = self.write("a.json", snapshot({"engine.x.io_seeks": counter(100)}))
+        b = self.write("b.json", snapshot({"engine.x.io_seeks": counter(103)}))
+        self.assertEqual(run_diff(a, b).returncode, 0)
+        # ... and the same change fails a tighter threshold.
+        self.assertEqual(run_diff(a, b, "--threshold", "1").returncode, 1)
+
+    def test_watch_override(self):
+        a = self.write("a.json", snapshot({"custom.thing": counter(10)}))
+        b = self.write("b.json", snapshot({"custom.thing": counter(99)}))
+        self.assertEqual(run_diff(a, b).returncode, 0)  # not watched
+        self.assertEqual(
+            run_diff(a, b, "--watch", "custom.").returncode, 1)
+
+    def test_type_change_exits_1(self):
+        a = self.write("a.json", snapshot({"engine.x.v": counter(1)}))
+        b = self.write("b.json", snapshot(
+            {"engine.x.v": {"type": "gauge", "value": 1}}))
+        res = run_diff(a, b)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("TYPE CHANGED", res.stdout)
+
+    def test_missing_file_exits_2(self):
+        a = self.write("a.json", snapshot({}))
+        self.assertEqual(run_diff(a, "/nonexistent/x.json").returncode, 2)
+
+    def test_bad_json_exits_2(self):
+        a = self.write("a.json", snapshot({}))
+        bad = Path(self.tmp.name) / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        self.assertEqual(run_diff(a, str(bad)).returncode, 2)
+
+    def test_wrong_schema_exits_2(self):
+        a = self.write("a.json", snapshot({}))
+        b = self.write("b.json", {"schema": "other.v9", "metrics": {}})
+        self.assertEqual(run_diff(a, b).returncode, 2)
+
+    def test_usage_error_exits_2(self):
+        self.assertEqual(run_diff().returncode, 2)
+
+    def test_help_mentions_exit_codes(self):
+        res = run_diff("--help")
+        self.assertEqual(res.returncode, 0)
+        self.assertIn("exit codes", res.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
