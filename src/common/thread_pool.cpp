@@ -38,13 +38,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // The closure never throws: packaged_task captures any exception from
+    // the user fn into the future, and the completion counter is bumped by
+    // the guard submit() wrapped around the fn (ordered before the future
+    // is fulfilled — see stats()).
     task();
-    // packaged_task captured any exception into the future; the closure
-    // itself never throws, so the task counts as completed either way.
-    {
-      MutexLock lock(mu_);
-      ++stats_.completed;
-    }
   }
 }
 

@@ -40,7 +40,22 @@ class ThreadPool {
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
     using R = std::invoke_result_t<F&>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    // The completion count must be bumped BEFORE the packaged_task fulfills
+    // the future — future::get() unblocks the moment the promise is set, and
+    // stats() promises completed == submitted once every future has been
+    // waited on. The guard's destructor runs during unwinding too, so a
+    // throwing fn still counts (its exception lands in the future).
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, fn = std::forward<F>(fn)]() mutable -> R {
+          struct Done {
+            ThreadPool* pool;
+            ~Done() {
+              MutexLock lock(pool->mu_);
+              ++pool->stats_.completed;
+            }
+          } done{this};
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     {
       MutexLock lock(mu_);

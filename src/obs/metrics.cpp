@@ -43,9 +43,14 @@ MetricsRegistry& MetricsRegistry::global() {
 
 MetricsRegistry::Slot& MetricsRegistry::slot_for(std::string_view name,
                                                  MetricKind kind) {
+  MutexLock lock(mu_);
+  return slot_for_locked(name, kind);
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot_for_locked(std::string_view name,
+                                                        MetricKind kind) {
   DEFRAG_CHECK_MSG(valid_name(name),
                    "metric names are non-empty [a-zA-Z0-9._-]");
-  MutexLock lock(mu_);
   auto it = slots_.find(name);
   if (it == slots_.end()) {
     Slot slot;
@@ -84,28 +89,27 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   // Copy the other side under its lock, then fold under ours (avoids lock
-  // ordering issues; merge is a cold reduction path).
+  // ordering issues; merge is a cold reduction path). mu_ stays held across
+  // the whole fold: histogram state is not atomic, so concurrent
+  // merge_from() calls into the same target must serialize.
   const MetricsSnapshot theirs = other.snapshot();
+  MutexLock lock(mu_);
   for (const MetricEntry& e : theirs.entries) {
+    Slot& slot = slot_for_locked(e.name, e.kind);
     switch (e.kind) {
       case MetricKind::kCounter:
-        counter(e.name).v_.fetch_add(e.counter, std::memory_order_relaxed);
+        slot.counter->v_.fetch_add(e.counter, std::memory_order_relaxed);
         break;
       case MetricKind::kGauge:
         if (e.gauge_set) {
-          Gauge& g = gauge(e.name);
-          g.v_.store(e.gauge, std::memory_order_relaxed);
-          g.set_flag_.store(true, std::memory_order_relaxed);
-        } else {
-          gauge(e.name);  // register even if never set
+          slot.gauge->v_.store(e.gauge, std::memory_order_relaxed);
+          slot.gauge->set_flag_.store(true, std::memory_order_relaxed);
         }
         break;
-      case MetricKind::kHistogram: {
-        Histogram& h = histogram(e.name);
-        h.stats_.merge(e.hist_stats);
-        h.buckets_.merge(e.hist_buckets);
+      case MetricKind::kHistogram:
+        slot.histogram->stats_.merge(e.hist_stats);
+        slot.histogram->buckets_.merge(e.hist_buckets);
         break;
-      }
     }
   }
 }

@@ -143,7 +143,8 @@ class MetricsRegistry {
 
   /// Fold another registry into this one: counters add, set gauges
   /// overwrite, histograms merge. The canonical reduction for per-thread
-  /// shards. Kind mismatches throw CheckFailure.
+  /// shards; concurrent merge_from() calls into the same target serialize
+  /// internally. Kind mismatches throw CheckFailure.
   void merge_from(const MetricsRegistry& other);
 
   /// Zero every value; registrations (and cached handles) survive.
@@ -162,13 +163,17 @@ class MetricsRegistry {
   };
 
   Slot& slot_for(std::string_view name, MetricKind kind) DEFRAG_EXCLUDES(mu_);
+  Slot& slot_for_locked(std::string_view name, MetricKind kind)
+      DEFRAG_REQUIRES(mu_);
 
-  // mu_ guards the name->slot map only. The Counter/Gauge/Histogram objects
-  // the slots point at are deliberately NOT guarded: handles outlive the
-  // critical section (that is the whole point of slot stability), and their
-  // own update rules — relaxed atomics for Counter/Gauge, single-thread or
-  // shard-and-merge for Histogram — are documented at the class definitions
-  // above.
+  // mu_ guards the name->slot map, and merge_from() additionally holds it
+  // across its whole fold so concurrent merges into the same target
+  // serialize (histogram state is not atomic). The Counter/Gauge/Histogram
+  // objects the slots point at are otherwise deliberately NOT guarded:
+  // handles outlive the critical section (that is the whole point of slot
+  // stability), and their own update rules — relaxed atomics for
+  // Counter/Gauge, single-thread or shard-and-merge for Histogram — are
+  // documented at the class definitions above.
   mutable Mutex mu_;
   std::map<std::string, Slot, std::less<>> slots_ DEFRAG_GUARDED_BY(mu_);
 };
