@@ -9,6 +9,13 @@
 
 namespace defrag {
 
+std::vector<ChunkRef> Chunker::split(ByteView data) const {
+  std::vector<ChunkRef> out;
+  out.reserve(data.size() / (8 * 1024) + 1);
+  split_to(data, [&out](const ChunkRef& r) { out.push_back(r); });
+  return out;
+}
+
 void ChunkerParams::validate() const {
   DEFRAG_CHECK_MSG(min_size > 0 && min_size <= avg_size && avg_size <= max_size,
                    "ChunkerParams must satisfy 0 < min <= avg <= max");

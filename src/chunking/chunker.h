@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,13 +34,24 @@ struct ChunkerParams {
   void validate() const;
 };
 
+/// Receives chunk boundaries in stream order, each as soon as it is known.
+using ChunkSink = std::function<void(const ChunkRef&)>;
+
 class Chunker {
  public:
   virtual ~Chunker() = default;
 
+  /// Split `data` into contiguous chunks covering the whole buffer,
+  /// invoking `sink` once per chunk *as each boundary is found*. This is
+  /// the one boundary loop: split() collects it into a vector, and the
+  /// parallel ingest pipeline feeds batches downstream while chunking is
+  /// still running. Deterministic: equal input always yields equal
+  /// boundaries, and split()/split_to() emit the identical sequence.
+  virtual void split_to(ByteView data, const ChunkSink& sink) const = 0;
+
   /// Split `data` into contiguous chunks covering the whole buffer.
-  /// Deterministic: equal input always yields equal boundaries.
-  virtual std::vector<ChunkRef> split(ByteView data) const = 0;
+  /// Non-virtual convenience wrapper over split_to().
+  std::vector<ChunkRef> split(ByteView data) const;
 
   /// Human-readable algorithm name ("rabin", "gear", "fixed").
   virtual std::string name() const = 0;

@@ -9,17 +9,14 @@ FixedChunker::FixedChunker(const ChunkerParams& params)
   DEFRAG_CHECK(size_ > 0);
 }
 
-std::vector<ChunkRef> FixedChunker::split(ByteView data) const {
-  std::vector<ChunkRef> out;
-  out.reserve(data.size() / size_ + 1);
+void FixedChunker::split_to(ByteView data, const ChunkSink& sink) const {
   std::uint64_t off = 0;
   while (off < data.size()) {
     const auto len = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(size_, data.size() - off));
-    out.push_back(ChunkRef{off, len});
+    sink(ChunkRef{off, len});
     off += len;
   }
-  return out;
 }
 
 }  // namespace defrag

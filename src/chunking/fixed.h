@@ -15,7 +15,7 @@ class FixedChunker final : public Chunker {
  public:
   explicit FixedChunker(const ChunkerParams& params = {});
 
-  std::vector<ChunkRef> split(ByteView data) const override;
+  void split_to(ByteView data, const ChunkSink& sink) const override;
   std::string name() const override { return "fixed"; }
 
  private:

@@ -45,11 +45,9 @@ GearChunker::GearChunker(const ChunkerParams& params, bool normalized)
   (void)table();
 }
 
-std::vector<ChunkRef> GearChunker::split(ByteView data) const {
+void GearChunker::split_to(ByteView data, const ChunkSink& sink) const {
   const auto& gear = table();
-  std::vector<ChunkRef> out;
-  if (data.empty()) return out;
-  out.reserve(data.size() / params_.avg_size + 1);
+  if (data.empty()) return;
 
   const std::size_t n = data.size();
   std::size_t chunk_start = 0;
@@ -96,11 +94,10 @@ std::vector<ChunkRef> GearChunker::split(ByteView data) const {
       }
     }
 
-    out.push_back(ChunkRef{chunk_start,
-                           static_cast<std::uint32_t>(boundary - chunk_start)});
+    sink(ChunkRef{chunk_start,
+                  static_cast<std::uint32_t>(boundary - chunk_start)});
     chunk_start = boundary;
   }
-  return out;
 }
 
 }  // namespace defrag

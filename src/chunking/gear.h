@@ -22,7 +22,7 @@ class GearChunker final : public Chunker {
   /// `normalized` enables FastCDC normalized chunking (level 2).
   explicit GearChunker(const ChunkerParams& params = {}, bool normalized = true);
 
-  std::vector<ChunkRef> split(ByteView data) const override;
+  void split_to(ByteView data, const ChunkSink& sink) const override;
   std::string name() const override {
     return normalized_ ? "gear-nc2" : "gear";
   }

@@ -66,11 +66,9 @@ std::uint64_t RabinChunker::slow_fingerprint(ByteView window) {
   return fp;
 }
 
-std::vector<ChunkRef> RabinChunker::split(ByteView data) const {
+void RabinChunker::split_to(ByteView data, const ChunkSink& sink) const {
   const auto& t = rabin_detail::tables();
-  std::vector<ChunkRef> out;
-  if (data.empty()) return out;
-  out.reserve(data.size() / params_.avg_size + 1);
+  if (data.empty()) return;
 
   const std::size_t n = data.size();
   std::size_t chunk_start = 0;
@@ -110,11 +108,10 @@ std::vector<ChunkRef> RabinChunker::split(ByteView data) const {
       }
     }
 
-    out.push_back(ChunkRef{chunk_start,
-                           static_cast<std::uint32_t>(boundary - chunk_start)});
+    sink(ChunkRef{chunk_start,
+                  static_cast<std::uint32_t>(boundary - chunk_start)});
     chunk_start = boundary;
   }
-  return out;
 }
 
 }  // namespace defrag

@@ -22,7 +22,7 @@ class RabinChunker final : public Chunker {
 
   explicit RabinChunker(const ChunkerParams& params = {});
 
-  std::vector<ChunkRef> split(ByteView data) const override;
+  void split_to(ByteView data, const ChunkSink& sink) const override;
   std::string name() const override { return "rabin"; }
 
   /// Exposed for tests: the fingerprint of a full window, computed slowly.

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <string>
 
 #include "common/check.h"
 
@@ -52,9 +53,9 @@ void ThreadPool::parallel_for(std::size_t n,
   std::atomic<std::size_t> next{0};
 
   // Join through futures: get() below guarantees every worker task has
-  // finished before `next`/`fn` go out of scope, and propagates the first
-  // exception. (A hand-rolled condition variable here is a lifetime trap:
-  // the final worker can notify after the waiter has already destroyed it.)
+  // finished before `next`/`fn` go out of scope. (A hand-rolled condition
+  // variable here is a lifetime trap: the final worker can notify after the
+  // waiter has already destroyed it.)
   const std::size_t workers = std::min(n, thread_count());
   std::vector<std::future<void>> joins;
   joins.reserve(workers);
@@ -67,7 +68,32 @@ void ThreadPool::parallel_for(std::size_t n,
       }
     }));
   }
-  for (auto& j : joins) j.get();
+
+  // Every future must be drained before anything can be thrown — bailing on
+  // the first failure would destroy `next`/`fn` under still-running workers.
+  // Failures are aggregated so one worker's error cannot hide another's.
+  std::size_t failures = 0;
+  std::string messages;
+  for (auto& j : joins) {
+    try {
+      j.get();
+    } catch (const std::exception& e) {
+      ++failures;
+      if (!messages.empty()) messages += "; ";
+      messages += e.what();
+    } catch (...) {  // defrag-lint: allow=catch-all — rethrown aggregated
+                     // as ParallelForError below, never swallowed
+      ++failures;
+      if (!messages.empty()) messages += "; ";
+      messages += "<non-standard exception>";
+    }
+  }
+  if (failures > 0) {
+    throw ParallelForError(
+        "parallel_for: " + std::to_string(failures) + " of " +
+            std::to_string(workers) + " worker task(s) failed: " + messages,
+        failures);
+  }
 }
 
 }  // namespace defrag

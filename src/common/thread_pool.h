@@ -12,12 +12,29 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/sync.h"
 
 namespace defrag {
+
+/// Aggregate failure of a ThreadPool::parallel_for(): thrown after *every*
+/// worker has joined, carrying each failed worker's message (so one bad
+/// index cannot hide the others) and the failure count.
+class ParallelForError : public std::runtime_error {
+ public:
+  ParallelForError(const std::string& what, std::size_t failures)
+      : std::runtime_error(what), failures_(failures) {}
+
+  /// Number of worker tasks that terminated with an exception.
+  std::size_t failures() const { return failures_; }
+
+ private:
+  std::size_t failures_;
+};
 
 class ThreadPool {
  public:
@@ -67,6 +84,9 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// If any worker throws, every worker is still joined first (no task is
+  /// left running against dead stack frames), then a ParallelForError
+  /// aggregating all failures is thrown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Snapshot of the task counters; submitted >= completed always, and they

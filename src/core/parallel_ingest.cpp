@@ -1,0 +1,139 @@
+#include "core/parallel_ingest.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace defrag {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+double ParallelIngestResult::throughput_mb_s() const {
+  return mb_per_sec(logical_bytes, wall_seconds);
+}
+
+ParallelIngestor::ParallelIngestor(const ParallelIngestParams& params)
+    : params_(params),
+      chunker_(make_chunker(params.chunker_kind, params.chunker)),
+      index_(params.index_shards, params.index),
+      store_(params.container_bytes, params.compress_containers) {}
+
+StreamIngestStats ParallelIngestor::ingest_one(std::size_t stream_id,
+                                               ByteView stream) {
+  const obs::TraceSpan span("parallel_ingest.stream", "ingest");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  StreamIngestStats st;
+  st.stream = stream_id;
+  st.logical_bytes = stream.size();
+
+  DiskSim sim(params_.disk);
+
+  // Chunk + fingerprint. With pipeline workers the stream gets its own SPSC
+  // pipeline (run() is single-caller, so pipelines cannot be shared across
+  // streams); otherwise it runs synchronously on this stream's thread.
+  std::vector<StreamChunk> chunks;
+  if (params_.pipeline_workers >= 1) {
+    StreamPipeline pipeline(*chunker_, params_.pipeline_workers,
+                            params_.batch_chunks);
+    chunks = pipeline.run(stream);
+  } else {
+    chunks.reserve(stream.size() / params_.chunker.avg_size + 1);
+    chunker_->split_to(stream, [&](const ChunkRef& r) {
+      chunks.push_back(StreamChunk{
+          Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset, r.size});
+    });
+  }
+  st.chunk_count = chunks.size();
+  // Chunking + fingerprinting CPU, charged like the serial engines.
+  sim.compute(static_cast<double>(stream.size()) / 1e6 / params_.cpu_mb_per_s);
+
+  ContainerStore::StreamAppender appender = store_.open_stream();
+  for (const StreamChunk& c : chunks) {
+    const ByteView data = stream.subspan(c.stream_offset, c.size);
+    const ShardedPagedIndex::ClaimResult claim =
+        index_.lookup_or_claim(c.fp, sim);
+    switch (claim.state) {
+      case ShardedPagedIndex::ClaimState::kClaimed: {
+        const ChunkLocation loc =
+            appender.append(c.fp, data, kInvalidSegment, sim);
+        index_.publish(c.fp, IndexValue{loc, kInvalidSegment}, sim);
+        ++st.unique_chunks;
+        st.unique_bytes += c.size;
+        break;
+      }
+      case ShardedPagedIndex::ClaimState::kPending:
+        ++st.pending_dup_chunks;
+        [[fallthrough]];
+      case ShardedPagedIndex::ClaimState::kExisting:
+        ++st.dup_chunks;
+        st.dup_bytes += c.size;
+        break;
+    }
+  }
+  appender.close();
+
+  st.io = sim.stats();
+  st.sim_seconds = sim.elapsed_seconds();
+  st.wall_seconds = seconds_since(wall_start);
+  return st;
+}
+
+ParallelIngestResult ParallelIngestor::ingest(
+    const std::vector<ByteView>& streams) {
+  const obs::TraceSpan span("parallel_ingest", "ingest");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  ParallelIngestResult res;
+  res.streams.resize(streams.size());
+  if (!streams.empty()) {
+    ThreadPool pool(streams.size());
+    std::vector<std::future<StreamIngestStats>> futures;
+    futures.reserve(streams.size());
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      futures.push_back(pool.submit(
+          [this, i, view = streams[i]] { return ingest_one(i, view); }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      res.streams[i] = futures[i].get();
+    }
+  }
+  res.wall_seconds = seconds_since(wall_start);
+
+  auto& reg = obs::MetricsRegistry::global();
+  for (const StreamIngestStats& st : res.streams) {
+    res.logical_bytes += st.logical_bytes;
+    res.chunk_count += st.chunk_count;
+    res.unique_bytes += st.unique_bytes;
+    res.dup_bytes += st.dup_bytes;
+    reg.histogram("dedup.parallel.stream_wall_us")
+        .observe(st.wall_seconds * 1e6);
+  }
+  reg.counter("dedup.parallel.ingests").add(1);
+  reg.counter("dedup.parallel.streams").add(res.streams.size());
+  reg.counter("dedup.parallel.logical_bytes").add(res.logical_bytes);
+  reg.counter("dedup.parallel.chunks").add(res.chunk_count);
+  reg.counter("dedup.parallel.unique_bytes").add(res.unique_bytes);
+  reg.counter("dedup.parallel.dup_bytes").add(res.dup_bytes);
+  reg.gauge("dedup.parallel.last_throughput_mb_s").set(res.throughput_mb_s());
+
+  // Every claim must have been published before the streams joined.
+  DEFRAG_CHECK_MSG(index_.pending_claims() == 0,
+                   "stream finished with unpublished claims");
+  return res;
+}
+
+}  // namespace defrag

@@ -1,0 +1,108 @@
+// Parallel ingest fast path: N backup streams deduplicated concurrently
+// against one shared store.
+//
+// Each stream runs on its own thread with its own DiskSim (streams model
+// independent backup clients; simulated time is per-stream, wall-clock
+// speedup is what multi-streaming buys). The shared metadata path is the
+// lock-striped ShardedPagedIndex; the shared data path is the
+// ContainerStore's StreamAppender, which gives every stream a private open
+// container so placement stays sequential *per stream*.
+//
+// Dedup across concurrent streams uses the index's claim/publish protocol:
+// a chunk's first claimant appends and publishes it; every other stream
+// sees kExisting or kPending and counts the chunk as a duplicate. Exactly
+// one stream wins any fingerprint, so total unique bytes is deterministic
+// under any interleaving (kPending duplicates are not charged the published
+// location lookup — the fast path trades that metadata precision for not
+// blocking on other streams).
+//
+// This is an ingest-only fast path: it produces store + index state and
+// throughput numbers, not per-generation recipes (restore experiments stay
+// on the serial engines).
+//
+// Thread safety: ingest() is a blocking call, safe from one thread at a
+// time per ingestor; it spawns and joins all stream workers internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "dedup/pipeline.h"
+#include "index/sharded_index.h"
+#include "storage/container_store.h"
+#include "storage/disk_model.h"
+
+namespace defrag {
+
+struct ParallelIngestParams {
+  ChunkerKind chunker_kind = ChunkerKind::kGear;
+  ChunkerParams chunker;
+  std::uint64_t container_bytes = 4ull << 20;
+  bool compress_containers = false;
+  PagedIndexParams index;
+  /// Lock stripes in the shared index (power of two).
+  std::size_t index_shards = ShardedPagedIndex::kDefaultShards;
+  /// Per-stream SPSC fingerprint pipeline workers; 0 = each stream chunks
+  /// and fingerprints synchronously on its own thread.
+  std::size_t pipeline_workers = 0;
+  /// Chunks per pipeline batch (when pipeline_workers >= 1).
+  std::size_t batch_chunks = 256;
+  DiskModel disk;
+  /// Combined chunking+fingerprinting rate used to charge simulated CPU.
+  double cpu_mb_per_s = 220.0;
+};
+
+/// Per-stream outcome of one ingest() call.
+struct StreamIngestStats {
+  std::size_t stream = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t dup_chunks = 0;
+  std::uint64_t dup_bytes = 0;
+  /// Duplicates resolved against another stream's in-flight claim
+  /// (kPending) rather than a published entry.
+  std::uint64_t pending_dup_chunks = 0;
+  IoStats io;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+struct ParallelIngestResult {
+  std::vector<StreamIngestStats> streams;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t dup_bytes = 0;
+  /// Wall-clock time of the whole ingest() call (all streams).
+  double wall_seconds = 0.0;
+
+  /// Aggregate wall-clock ingest throughput (MB/s over all streams).
+  double throughput_mb_s() const;
+};
+
+class ParallelIngestor {
+ public:
+  explicit ParallelIngestor(const ParallelIngestParams& params = {});
+
+  /// Ingest all streams concurrently (one thread per stream). Blocks until
+  /// every stream finished; rethrows the first stream failure.
+  ParallelIngestResult ingest(const std::vector<ByteView>& streams);
+
+  const ShardedPagedIndex& index() const { return index_; }
+  const ContainerStore& store() const { return store_; }
+
+ private:
+  StreamIngestStats ingest_one(std::size_t stream_id, ByteView stream);
+
+  ParallelIngestParams params_;
+  std::unique_ptr<Chunker> chunker_;
+  ShardedPagedIndex index_;
+  ContainerStore store_;
+};
+
+}  // namespace defrag

@@ -44,8 +44,9 @@ EngineBase::EngineBase(const EngineConfig& cfg)
       chunker_(make_chunker(cfg.chunker_kind, cfg.chunker)),
       segmenter_(cfg.segmenter),
       store_(cfg.container_bytes, cfg.compress_containers) {
-  if (cfg_.fingerprint_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(cfg_.fingerprint_threads);
+  if (cfg_.fingerprint_threads >= 1) {
+    pipeline_ =
+        std::make_unique<StreamPipeline>(*chunker_, cfg_.fingerprint_threads);
   }
 }
 
@@ -84,20 +85,14 @@ std::vector<StreamChunk> EngineBase::prepare_chunks(ByteView stream) {
   const obs::TraceSpan span("prepare_chunks", "ingest");
   obs::ScopedTimer timer(
       obs::MetricsRegistry::global().histogram("stage.prepare_us"));
-  const std::vector<ChunkRef> refs = chunker_->split(stream);
-  std::vector<StreamChunk> chunks(refs.size());
+  if (pipeline_) return pipeline_->run(stream);
 
-  auto fill = [&](std::size_t i) {
-    const ChunkRef& r = refs[i];
-    chunks[i] = StreamChunk{
-        Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset, r.size};
-  };
-
-  if (pool_) {
-    pool_->parallel_for(refs.size(), fill);
-  } else {
-    for (std::size_t i = 0; i < refs.size(); ++i) fill(i);
-  }
+  std::vector<StreamChunk> chunks;
+  chunks.reserve(stream.size() / cfg_.chunker.avg_size + 1);
+  chunker_->split_to(stream, [&](const ChunkRef& r) {
+    chunks.push_back(StreamChunk{
+        Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset, r.size});
+  });
   return chunks;
 }
 

@@ -23,7 +23,7 @@
 
 #include "chunking/chunker.h"
 #include "chunking/segmenter.h"
-#include "common/thread_pool.h"
+#include "dedup/pipeline.h"
 #include "index/paged_index.h"
 #include "storage/container_store.h"
 #include "storage/disk_model.h"
@@ -80,8 +80,9 @@ struct EngineConfig {
   /// of coarser decisions.
   std::size_t defrag_group_segments = 1;
 
-  /// Worker threads for parallel fingerprinting (wall-clock speedup only;
-  /// simulated time is unaffected). 0 = synchronous.
+  /// Fingerprint worker threads for the SPSC-pipelined chunk preparation
+  /// path (wall-clock speedup only; simulated time is unaffected, and the
+  /// chunk sequence is bit-identical either way). 0 = synchronous.
   std::size_t fingerprint_threads = 0;
 };
 
@@ -194,7 +195,7 @@ class EngineBase : public DedupEngine {
  private:
   std::unordered_set<Fingerprint> seen_;
   SegmentId next_segment_id_ = 0;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<StreamPipeline> pipeline_;
   std::string metrics_prefix_;
 };
 

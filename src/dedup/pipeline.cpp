@@ -2,68 +2,180 @@
 
 #include <chrono>
 #include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/fingerprint.h"
+#include "common/spsc_queue.h"
 #include "obs/metrics.h"
-#include "obs/timer.h"
 #include "obs/trace.h"
 
 namespace defrag {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One queue element: a run of consecutive chunks. `first_chunk` is the
+/// batch's position in the stream-order output, fixed at dispatch time, so
+/// reassembly is a positional copy no matter which worker finished when.
+struct Batch {
+  std::size_t first_chunk = 0;
+  std::vector<ChunkRef> refs;
+  std::vector<StreamChunk> results;
+};
+
+using BatchPtr = std::unique_ptr<Batch>;
+
+/// What one fingerprint worker hands back when its queue closes.
+struct WorkerOutput {
+  double busy_seconds = 0.0;
+  std::vector<BatchPtr> done;
+};
+
+/// Pop the next batch, spinning briefly then parking: the producer may be
+/// mid-chunk, so an empty queue usually refills within microseconds.
+BatchPtr blocking_pop(SpscQueue<BatchPtr>& queue) {
+  int idle = 0;
+  for (;;) {
+    if (std::optional<BatchPtr> v = queue.try_pop()) return std::move(*v);
+    if (++idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+WorkerOutput fingerprint_worker(SpscQueue<BatchPtr>& queue, ByteView stream) {
+  const obs::TraceSpan span("pipeline.fingerprint", "pipeline");
+  WorkerOutput out;
+  for (;;) {
+    BatchPtr batch = blocking_pop(queue);
+    if (!batch) return out;  // producer's close sentinel
+    const auto t0 = Clock::now();
+    batch->results.resize(batch->refs.size());
+    for (std::size_t i = 0; i < batch->refs.size(); ++i) {
+      const ChunkRef& r = batch->refs[i];
+      batch->results[i] = StreamChunk{
+          Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset, r.size};
+    }
+    out.busy_seconds += seconds_since(t0);
+    out.done.push_back(std::move(batch));
+  }
+}
+
+}  // namespace
+
 StreamPipeline::StreamPipeline(const Chunker& chunker, std::size_t workers,
-                               std::size_t batch_chunks)
+                               std::size_t batch_chunks,
+                               std::size_t queue_batches)
     : chunker_(chunker), pool_(std::max<std::size_t>(1, workers)),
-      batch_chunks_(batch_chunks) {
+      batch_chunks_(batch_chunks), queue_batches_(queue_batches) {
   DEFRAG_CHECK(batch_chunks_ >= 1);
+  DEFRAG_CHECK_MSG(queue_batches_ >= 2 &&
+                       (queue_batches_ & (queue_batches_ - 1)) == 0,
+                   "queue_batches must be a power of two >= 2");
 }
 
 std::vector<StreamChunk> StreamPipeline::run(ByteView stream,
                                              PipelineStats* stats) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t_start = Clock::now();
+  const std::size_t n_workers = pool_.thread_count();
 
-  // Stage 1 (this thread): sequential chunking.
-  std::vector<ChunkRef> refs;
+  // One SPSC queue per worker keeps the queue contract honest: this thread
+  // is the single producer of every queue, worker w the single consumer of
+  // queue w. Round-robin dispatch keeps workers evenly fed.
+  std::vector<std::unique_ptr<SpscQueue<BatchPtr>>> queues;
+  std::vector<std::future<WorkerOutput>> workers;
+  queues.reserve(n_workers);
+  workers.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    queues.push_back(std::make_unique<SpscQueue<BatchPtr>>(queue_batches_));
+    workers.push_back(pool_.submit(
+        [&queue = *queues.back(), stream] {
+          return fingerprint_worker(queue, stream);
+        }));
+  }
+
+  // Stage 1 (this thread): sequential chunking, dispatching a batch the
+  // moment it fills — fingerprint workers overlap with the chunker from the
+  // first batch_chunks_ chunks onward.
+  std::size_t chunk_count = 0;
+  std::size_t batch_count = 0;
+  double stall_seconds = 0.0;
   {
     const obs::TraceSpan span("pipeline.chunk", "pipeline");
-    obs::ScopedTimer timer(
-        obs::MetricsRegistry::global().histogram("pipeline.chunk_us"));
-    refs = chunker_.split(stream);
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  std::vector<StreamChunk> out(refs.size());
+    BatchPtr current = std::make_unique<Batch>();
+    current->refs.reserve(batch_chunks_);
+    std::size_t next_queue = 0;
 
-  const obs::TraceSpan fp_span("pipeline.fingerprint", "pipeline");
-  obs::ScopedTimer fp_timer(
-      obs::MetricsRegistry::global().histogram("pipeline.fingerprint_us"));
+    auto dispatch = [&](BatchPtr batch) {
+      // push() spins until a slot frees; timing the call measures the
+      // backpressure stall (an unblocked push is tens of nanoseconds and
+      // disappears in the accumulation).
+      const auto t0 = Clock::now();
+      queues[next_queue]->push(std::move(batch));
+      stall_seconds += seconds_since(t0);
+      next_queue = (next_queue + 1) % n_workers;
+      ++batch_count;
+    };
 
-  // Stage 2 (pool): fingerprint batches as they are carved off. Because
-  // split() already ran, batches dispatch immediately back-to-back; the
-  // futures keep completion ordered without locks on the result vector
-  // (disjoint ranges).
-  std::vector<std::future<void>> batches;
-  batches.reserve(refs.size() / batch_chunks_ + 1);
-  for (std::size_t start = 0; start < refs.size(); start += batch_chunks_) {
-    const std::size_t end = std::min(refs.size(), start + batch_chunks_);
-    batches.push_back(pool_.submit([&, start, end] {
-      for (std::size_t i = start; i < end; ++i) {
-        const ChunkRef& r = refs[i];
-        out[i] = StreamChunk{
-            Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset,
-            r.size};
+    chunker_.split_to(stream, [&](const ChunkRef& r) {
+      if (current->refs.empty()) current->first_chunk = chunk_count;
+      current->refs.push_back(r);
+      ++chunk_count;
+      if (current->refs.size() == batch_chunks_) {
+        dispatch(std::move(current));
+        current = std::make_unique<Batch>();
+        current->refs.reserve(batch_chunks_);
       }
-    }));
+    });
+    if (!current->refs.empty()) dispatch(std::move(current));
+    for (auto& q : queues) q->push(nullptr);  // close every worker's queue
   }
-  for (auto& b : batches) b.get();
-  fp_timer.stop();
-  const auto t2 = std::chrono::steady_clock::now();
+  const double producer_seconds = seconds_since(t_start);
+
+  // Stage 2 results: join the workers, then reassemble in stream order by
+  // each batch's dispatch-time position.
+  std::vector<StreamChunk> out(chunk_count);
+  double fingerprint_busy = 0.0;
+  for (auto& w : workers) {
+    WorkerOutput result = w.get();
+    fingerprint_busy += result.busy_seconds;
+    for (const BatchPtr& batch : result.done) {
+      std::copy(batch->results.begin(), batch->results.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(batch->first_chunk));
+    }
+  }
+  const double wall_seconds = seconds_since(t_start);
+
+  // Histogram::observe() is single-threaded by contract, and concurrent
+  // streams (core/parallel_ingest) each run their own pipeline: accumulate
+  // into a local shard and merge_from() into the global registry, which
+  // serializes concurrent merges under its lock.
+  const double chunk_busy = producer_seconds - stall_seconds;
+  obs::MetricsRegistry shard;
+  shard.histogram("pipeline.chunk_us").observe(chunk_busy * 1e6);
+  shard.histogram("pipeline.fingerprint_us").observe(fingerprint_busy * 1e6);
+  shard.histogram("pipeline.stall_us").observe(stall_seconds * 1e6);
+  obs::MetricsRegistry::global().merge_from(shard);
 
   if (stats) {
-    stats->chunk_count = refs.size();
-    stats->batch_count = batches.size();
-    stats->chunk_seconds = std::chrono::duration<double>(t1 - t0).count();
-    stats->fingerprint_seconds = std::chrono::duration<double>(t2 - t1).count();
-    stats->wall_seconds = std::chrono::duration<double>(t2 - t0).count();
+    stats->chunk_count = chunk_count;
+    stats->batch_count = batch_count;
+    stats->workers = n_workers;
+    stats->wall_seconds = wall_seconds;
+    stats->chunk_seconds = chunk_busy;
+    stats->fingerprint_seconds = fingerprint_busy;
+    stats->producer_stall_seconds = stall_seconds;
   }
   return out;
 }

@@ -2,19 +2,23 @@
 //
 // Chunking is inherently sequential (each boundary depends on the previous
 // one), but fingerprinting is embarrassingly parallel across chunks. This
-// pipeline runs the chunker on the calling thread, streams chunk batches
-// through an SPSC queue to a fingerprint stage backed by a thread pool, and
-// reassembles results in stream order.
+// pipeline runs the chunker on the calling thread and streams chunk batches
+// through bounded SPSC queues to fingerprint workers *while chunking is
+// still running*: the producer carves batches off the chunker's incremental
+// split_to() callback and round-robins them across one SpscQueue per
+// worker, so every queue keeps its single-producer/single-consumer
+// contract. Workers fingerprint batches as they arrive; results are
+// reassembled in stream order after the producer closes the queues, and the
+// output is bit-identical to the synchronous path.
 //
 // This accelerates *wall-clock* experiment time only; simulated dedup time
 // is governed by EngineConfig::cpu_mb_per_s regardless, so parallelism never
 // distorts the reproduced figures.
 //
 // Thread safety: run() may be called from one thread at a time per pipeline
-// (it owns a ThreadPool whose workers write disjoint ranges of the result
-// vector; the joining futures publish those writes back to the caller).
-// Distinct StreamPipeline instances are independent and may run
-// concurrently; the shared Chunker is only read.
+// (the calling thread is the producer of every queue; each pool worker is
+// the consumer of exactly one queue). Distinct StreamPipeline instances are
+// independent and may run concurrently; the shared Chunker is only read.
 #pragma once
 
 #include <cstddef>
@@ -26,31 +30,56 @@
 
 namespace defrag {
 
+// Stage accounting of one run(). Once stages overlap, per-stage time is
+// *busy* time, not a split of the wall clock: chunk_seconds +
+// fingerprint_seconds can legitimately exceed wall_seconds, and that excess
+// is exactly the overlap the pipeline buys. See docs/OBSERVABILITY.md.
 struct PipelineStats {
   std::size_t chunk_count = 0;
   std::size_t batch_count = 0;
+  std::size_t workers = 0;
+  /// End-to-end wall-clock time of run() on the calling thread.
   double wall_seconds = 0.0;
-  /// Per-stage split of wall_seconds: sequential chunking vs parallel
-  /// fingerprinting (dispatch + drain, measured on the calling thread).
+  /// Producer-side busy time: chunking + batch assembly, excluding time the
+  /// producer spent stalled on full worker queues.
   double chunk_seconds = 0.0;
+  /// Aggregate fingerprint busy time summed across all workers (CPU-seconds,
+  /// not wall). With W workers this may approach W * wall_seconds.
   double fingerprint_seconds = 0.0;
+  /// Time the producer spent blocked pushing batches to full queues
+  /// (backpressure: fingerprinting could not keep up).
+  double producer_stall_seconds = 0.0;
+
+  /// Seconds of fingerprint work that ran while the producer was still
+  /// chunking — zero for a serial execution, positive once the stages
+  /// actually overlap.
+  double overlap_seconds() const {
+    const double sum = chunk_seconds + fingerprint_seconds;
+    return sum > wall_seconds ? sum - wall_seconds : 0.0;
+  }
 };
 
 class StreamPipeline {
  public:
   /// `workers`: fingerprint threads (>=1). `batch_chunks`: chunks per queue
-  /// element; batching amortizes queue traffic.
+  /// element; batching amortizes queue traffic. `queue_batches`: per-worker
+  /// SPSC queue capacity in batches (power of two; bounds producer run-ahead
+  /// and with it peak memory).
   StreamPipeline(const Chunker& chunker, std::size_t workers,
-                 std::size_t batch_chunks = 256);
+                 std::size_t batch_chunks = 256,
+                 std::size_t queue_batches = 8);
 
   /// Chunk + fingerprint the stream. Result is in stream order and
   /// bit-identical to the synchronous path.
   std::vector<StreamChunk> run(ByteView stream, PipelineStats* stats = nullptr);
 
+  std::size_t workers() const { return pool_.thread_count(); }
+
  private:
   const Chunker& chunker_;
   ThreadPool pool_;
   std::size_t batch_chunks_;
+  std::size_t queue_batches_;
 };
 
 }  // namespace defrag

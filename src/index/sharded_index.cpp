@@ -1,0 +1,142 @@
+#include "index/sharded_index.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace defrag {
+
+namespace {
+
+/// Per-shard parameters: slice the page space and page cache evenly so the
+/// striped index models the same total RAM and page-fault rate as one big
+/// PagedIndex with `total` parameters.
+PagedIndexParams shard_params(const PagedIndexParams& total,
+                              std::size_t shards) {
+  PagedIndexParams p = total;
+  p.expected_chunks =
+      std::max<std::uint64_t>(1, total.expected_chunks / shards);
+  p.page_cache_pages =
+      std::max<std::uint64_t>(1, total.page_cache_pages / shards);
+  return p;
+}
+
+/// Bytes [8, 16) of the fingerprint as a little-endian u64 — independent of
+/// prefix64() (bytes [0, 8)), which PagedIndex uses for page placement.
+std::uint64_t shard_key(const Fingerprint& fp) {
+  std::uint64_t v;
+  std::memcpy(&v, fp.bytes.data() + 8, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ShardedPagedIndex::ShardedPagedIndex(std::size_t shards,
+                                     const PagedIndexParams& params) {
+  DEFRAG_CHECK_MSG(shards >= 1 && (shards & (shards - 1)) == 0,
+                   "shard count must be a power of two >= 1");
+  const PagedIndexParams per_shard = shard_params(params, shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+ShardedPagedIndex::Shard& ShardedPagedIndex::shard_of(
+    const Fingerprint& fp) const {
+  return *shards_[shard_key(fp) & (shards_.size() - 1)];
+}
+
+std::optional<IndexValue> ShardedPagedIndex::lookup(const Fingerprint& fp,
+                                                    DiskSim& sim) {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  return s.index.lookup(fp, sim);
+}
+
+std::optional<IndexValue> ShardedPagedIndex::peek(const Fingerprint& fp) const {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  return s.index.peek(fp);
+}
+
+void ShardedPagedIndex::insert(const Fingerprint& fp, const IndexValue& value,
+                               DiskSim& sim) {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  s.index.insert(fp, value, sim);
+}
+
+void ShardedPagedIndex::update(const Fingerprint& fp, const IndexValue& value,
+                               DiskSim& sim) {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  s.index.update(fp, value, sim);
+}
+
+ShardedPagedIndex::ClaimResult ShardedPagedIndex::lookup_or_claim(
+    const Fingerprint& fp, DiskSim& sim) {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  if (const std::optional<IndexValue> hit = s.index.lookup(fp, sim)) {
+    return ClaimResult{ClaimState::kExisting, *hit};
+  }
+  if (s.claims.contains(fp)) {
+    return ClaimResult{ClaimState::kPending, {}};
+  }
+  s.claims.insert(fp);
+  return ClaimResult{ClaimState::kClaimed, {}};
+}
+
+void ShardedPagedIndex::publish(const Fingerprint& fp, const IndexValue& value,
+                                DiskSim& sim) {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  DEFRAG_CHECK_MSG(s.claims.erase(fp) == 1,
+                   "publish of a fingerprint that was never claimed");
+  s.index.insert(fp, value, sim);
+}
+
+bool ShardedPagedIndex::contains(const Fingerprint& fp) const {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  return s.index.contains(fp);
+}
+
+std::size_t ShardedPagedIndex::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    MutexLock lock(s->mu);
+    total += s->index.size();
+  }
+  return total;
+}
+
+std::size_t ShardedPagedIndex::pending_claims() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    MutexLock lock(s->mu);
+    total += s->claims.size();
+  }
+  return total;
+}
+
+std::uint64_t ShardedPagedIndex::page_cache_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    MutexLock lock(s->mu);
+    total += s->index.page_cache_hits();
+  }
+  return total;
+}
+
+std::uint64_t ShardedPagedIndex::page_cache_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    MutexLock lock(s->mu);
+    total += s->index.page_cache_misses();
+  }
+  return total;
+}
+
+}  // namespace defrag

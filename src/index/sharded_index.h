@@ -1,0 +1,118 @@
+// Lock-striped chunk index for concurrent multi-stream ingest.
+//
+// The full PagedIndex is thread-compatible only: lookup() mutates the page
+// cache, so every access must be serialized. This wrapper shards the key
+// space across N independent PagedIndex instances, each behind its own
+// Mutex, so concurrent streams contend only when their fingerprints hash to
+// the same stripe (1/N of the time for uniform SHA-1 keys). Shard selection
+// uses bytes [8, 16) of the fingerprint — deliberately disjoint from
+// PagedIndex::page_of()'s prefix64() — so striping never skews the page
+// distribution inside a shard.
+//
+// Cost model: each shard is a proportionally smaller paged index (its page
+// space and page cache are 1/N of the configured totals), so the aggregate
+// RAM and page-fault behaviour match a single index of the same parameters.
+//
+// Concurrent dedup protocol (used by core/parallel_ingest.cpp): the append
+// decision and the index insert cannot be one critical section without
+// serializing container I/O, so the shard hands out *claims*:
+//
+//   lookup_or_claim(fp)  -> kExisting  duplicate of a published entry
+//                        -> kClaimed   caller owns fp: append it, then
+//                                      publish() the location
+//                        -> kPending   another stream holds the claim; treat
+//                                      as duplicate (its location becomes
+//                                      readable via peek() once every
+//                                      claimant has published)
+//
+// Exactly one stream wins the claim for any fingerprint, so the set of
+// stored chunks — and with it total unique bytes — is deterministic under
+// any thread interleaving.
+//
+// Thread safety: fully thread-safe; every member routes through the owning
+// shard's mutex (Clang thread-safety checked via the annotations below).
+// Aggregating accessors (size(), page_cache_*()) lock shards one at a time
+// and are exact only at quiescence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/sync.h"
+#include "index/paged_index.h"
+
+namespace defrag {
+
+class ShardedPagedIndex {
+ public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  /// Outcome of lookup_or_claim() for one fingerprint.
+  enum class ClaimState {
+    kExisting,  // published entry found; `value` is its location
+    kClaimed,   // caller now owns this fingerprint and must publish()
+    kPending,   // claimed by another stream, not yet published
+  };
+
+  struct ClaimResult {
+    ClaimState state = ClaimState::kExisting;
+    IndexValue value;  // meaningful only when state == kExisting
+  };
+
+  /// `shards` must be a power of two >= 1. `params` describes the *total*
+  /// index; each shard gets a 1/shards slice of its page space and cache.
+  explicit ShardedPagedIndex(std::size_t shards = kDefaultShards,
+                             const PagedIndexParams& params = {});
+
+  /// Charged lookup in the owning shard (pays that shard's page-cache
+  /// behaviour to `sim`). Ignores unpublished claims.
+  std::optional<IndexValue> lookup(const Fingerprint& fp, DiskSim& sim);
+
+  /// Free lookup (no I/O charge), published entries only.
+  std::optional<IndexValue> peek(const Fingerprint& fp) const;
+
+  /// Insert a published entry directly (single-owner call sites).
+  void insert(const Fingerprint& fp, const IndexValue& value, DiskSim& sim);
+
+  /// Overwrite an existing published entry.
+  void update(const Fingerprint& fp, const IndexValue& value, DiskSim& sim);
+
+  /// Atomically: charged lookup, and on miss acquire the claim for `fp`.
+  ClaimResult lookup_or_claim(const Fingerprint& fp, DiskSim& sim);
+
+  /// Publish a previously claimed fingerprint's location. Charges like
+  /// insert. It is a checked error to publish without holding the claim.
+  void publish(const Fingerprint& fp, const IndexValue& value, DiskSim& sim);
+
+  bool contains(const Fingerprint& fp) const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Published entries across all shards (exact at quiescence).
+  std::size_t size() const;
+
+  /// Outstanding claims across all shards (0 once every stream finished).
+  std::size_t pending_claims() const;
+
+  std::uint64_t page_cache_hits() const;
+  std::uint64_t page_cache_misses() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const PagedIndexParams& params) : index(params) {}
+    mutable Mutex mu;
+    PagedIndex index DEFRAG_GUARDED_BY(mu);
+    std::unordered_set<Fingerprint> claims DEFRAG_GUARDED_BY(mu);
+  };
+
+  Shard& shard_of(const Fingerprint& fp) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace defrag

@@ -1,5 +1,7 @@
 #include "storage/container_store.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace defrag {
@@ -20,6 +22,34 @@ ContainerStore::ContainerStore(std::uint64_t container_capacity,
   DEFRAG_CHECK(capacity_ >= 64 * 1024);
 }
 
+// Quiescence-only move: both stores are exclusively owned by the caller, so
+// no lock is needed (or analyzable from an init list) — hence the
+// DEFRAG_NO_THREAD_SAFETY_ANALYSIS on the declarations.
+ContainerStore::ContainerStore(ContainerStore&& other) noexcept
+    : capacity_(other.capacity_),
+      compress_on_seal_(other.compress_on_seal_),
+      containers_(std::move(other.containers_)),
+      stream_mode_(other.stream_mode_),
+      active_appenders_(other.active_appenders_),
+      obs_(other.obs_) {
+  DEFRAG_DCHECK(active_appenders_ == 0);
+  other.containers_.clear();
+  other.stream_mode_ = false;
+}
+
+ContainerStore& ContainerStore::operator=(ContainerStore&& other) noexcept {
+  if (this == &other) return *this;
+  DEFRAG_DCHECK(active_appenders_ == 0 && other.active_appenders_ == 0);
+  capacity_ = other.capacity_;
+  compress_on_seal_ = other.compress_on_seal_;
+  containers_ = std::move(other.containers_);
+  stream_mode_ = other.stream_mode_;
+  obs_ = other.obs_;
+  other.containers_.clear();
+  other.stream_mode_ = false;
+  return *this;
+}
+
 Container& ContainerStore::writable() {
   if (containers_.empty() || containers_.back()->sealed()) {
     containers_.push_back(std::make_unique<Container>(
@@ -32,6 +62,9 @@ ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
                                      SegmentId segment, DiskSim& sim) {
   DEFRAG_CHECK_MSG(data.size() <= capacity_,
                    "chunk larger than container capacity");
+  MutexLock lock(mu_);
+  DEFRAG_CHECK_MSG(!stream_mode_,
+                   "serial append() on a store with open_stream() appenders");
   Container* c = &writable();
   if (!c->fits(static_cast<std::uint32_t>(data.size()))) {
     c->seal(compress_on_seal_);
@@ -47,13 +80,88 @@ ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
 }
 
 void ContainerStore::flush() {
+  MutexLock lock(mu_);
+  DEFRAG_CHECK_MSG(!stream_mode_,
+                   "serial flush() on a store with open_stream() appenders");
   if (containers_.empty() || containers_.back()->sealed()) return;
   containers_.back()->seal(compress_on_seal_);
   obs_.seals->add(1);
 }
 
+ContainerStore::StreamAppender ContainerStore::open_stream() {
+  MutexLock lock(mu_);
+  // Entering stream mode seals any serial-path open container first, so the
+  // appenders never share a tail with the serial writer.
+  if (!stream_mode_ && !containers_.empty() && !containers_.back()->sealed()) {
+    containers_.back()->seal(compress_on_seal_);
+    obs_.seals->add(1);
+  }
+  stream_mode_ = true;
+  ++active_appenders_;
+  return StreamAppender(this);
+}
+
+Container* ContainerStore::allocate_container() {
+  MutexLock lock(mu_);
+  containers_.push_back(std::make_unique<Container>(
+      static_cast<ContainerId>(containers_.size()), capacity_));
+  return containers_.back().get();
+}
+
+void ContainerStore::appender_closed() {
+  MutexLock lock(mu_);
+  DEFRAG_CHECK(active_appenders_ >= 1);
+  --active_appenders_;
+}
+
+ContainerStore::StreamAppender::StreamAppender(StreamAppender&& other) noexcept
+    : store_(std::exchange(other.store_, nullptr)),
+      open_(std::exchange(other.open_, nullptr)) {}
+
+ContainerStore::StreamAppender::~StreamAppender() { close(); }
+
+ChunkLocation ContainerStore::StreamAppender::append(const Fingerprint& fp,
+                                                     ByteView data,
+                                                     SegmentId segment,
+                                                     DiskSim& sim) {
+  DEFRAG_CHECK_MSG(store_ != nullptr, "append on a closed StreamAppender");
+  DEFRAG_CHECK_MSG(data.size() <= store_->capacity_,
+                   "chunk larger than container capacity");
+  // The open container is exclusively ours until sealed, so appends run
+  // lock-free; only rolling to a fresh container touches the store.
+  if (open_ != nullptr && !open_->fits(static_cast<std::uint32_t>(data.size()))) {
+    open_->seal(store_->compress_on_seal_);
+    store_->obs_.seals->add(1);
+    open_ = nullptr;
+  }
+  if (open_ == nullptr) open_ = store_->allocate_container();
+  sim.write_behind(data.size() + kContainerEntryBytes);
+  store_->obs_.appends->add(1);
+  store_->obs_.bytes_appended->add(data.size());
+  return open_->append(fp, data, segment);
+}
+
+void ContainerStore::StreamAppender::close() {
+  if (store_ == nullptr) return;
+  if (open_ != nullptr) {
+    open_->seal(store_->compress_on_seal_);
+    store_->obs_.seals->add(1);
+    open_ = nullptr;
+  }
+  store_->appender_closed();
+  store_ = nullptr;
+}
+
+const Container& ContainerStore::container_at(ContainerId id) const {
+  MutexLock lock(mu_);
+  DEFRAG_CHECK_MSG(id < containers_.size(), "unknown container id");
+  // Containers are heap-allocated and never removed, so the reference stays
+  // valid after the table lock drops.
+  return *containers_[id];
+}
+
 const Container& ContainerStore::load(ContainerId id, DiskSim& sim) const {
-  const Container& c = peek(id);
+  const Container& c = container_at(id);
   sim.seek();
   sim.read(c.stored_bytes() + c.metadata_bytes());
   obs_.loads->add(1);
@@ -63,7 +171,7 @@ const Container& ContainerStore::load(ContainerId id, DiskSim& sim) const {
 
 const std::vector<ContainerEntry>& ContainerStore::load_metadata(
     ContainerId id, DiskSim& sim) const {
-  const Container& c = peek(id);
+  const Container& c = container_at(id);
   sim.seek();
   sim.read(c.metadata_bytes());
   obs_.metadata_loads->add(1);
@@ -71,24 +179,33 @@ const std::vector<ContainerEntry>& ContainerStore::load_metadata(
 }
 
 const Container& ContainerStore::peek(ContainerId id) const {
-  DEFRAG_CHECK_MSG(id < containers_.size(), "unknown container id");
-  return *containers_[id];
+  return container_at(id);
 }
 
 ContainerId ContainerStore::open_container() const {
-  if (containers_.empty() || containers_.back()->sealed()) {
+  MutexLock lock(mu_);
+  if (stream_mode_ || containers_.empty() || containers_.back()->sealed()) {
     return kInvalidContainer;
   }
   return containers_.back()->id();
 }
 
+std::size_t ContainerStore::container_count() const {
+  MutexLock lock(mu_);
+  return containers_.size();
+}
+
 std::uint64_t ContainerStore::total_data_bytes() const {
+  MutexLock lock(mu_);
+  DEFRAG_DCHECK(active_appenders_ == 0);
   std::uint64_t total = 0;
   for (const auto& c : containers_) total += c->data_bytes();
   return total;
 }
 
 std::uint64_t ContainerStore::total_stored_bytes() const {
+  MutexLock lock(mu_);
+  DEFRAG_DCHECK(active_appenders_ == 0);
   std::uint64_t total = 0;
   for (const auto& c : containers_) total += c->stored_bytes();
   return total;

@@ -5,17 +5,40 @@
 // load whole containers or just their metadata sections, each costing one
 // seek plus the transfer.
 //
-// Thread safety: thread-compatible, not thread-safe — a store (and its
-// DiskSim) must be confined to one thread or externally synchronized; there
-// is deliberately no internal Mutex on the append path. The only members
-// touched from concurrent contexts are the ObsHandles counters, which are
-// process-wide relaxed atomics (see obs/metrics.h) and safe from any thread.
+// Thread safety: the store's shared state (the container table and the
+// serial open container) is guarded by an internal Mutex, so the serial
+// API may be called from any single thread and the *concurrent* append
+// path below is safe from many.
+//
+// Concurrent appends — StreamAppender: each ingest stream opens its own
+// appender via open_stream(). An appender owns a private open container
+// and appends to it without touching the store lock; only rolling to a
+// fresh container (and close()) takes the Mutex to register the new
+// container in the shared table. This preserves the paper's sequential-
+// placement invariant *per stream*: one stream's chunks land back-to-back
+// in that stream's containers, exactly as a serial ingest would place
+// them, so SPL/rewrite decisions computed over a stream's containers are
+// unchanged. Container IDs interleave across streams (allocation order),
+// which is irrelevant to locality — locality is within-container.
+//
+// Mixing rules (checked): once open_stream() has been called, the serial
+// append()/flush()/open_container() path is disabled (they operate on the
+// table's tail, which appenders invalidate). Accounting that reads
+// container payloads (total_*_bytes) requires quiescence — close every
+// appender first; this is DCHECKed. Readers may load/peek sealed
+// containers concurrently with other streams' appends only if the
+// container's seal happened-before the read (join the writer, or observe
+// its close()).
+//
+// The ObsHandles counters are process-wide relaxed atomics (see
+// obs/metrics.h) and safe from any thread.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "storage/container.h"
 #include "storage/disk_model.h"
@@ -29,13 +52,56 @@ class ContainerStore {
   explicit ContainerStore(std::uint64_t container_capacity = 4ull << 20,
                           bool compress_on_seal = false);
 
+  /// Moves are quiescence-only (no concurrent access to either store, no
+  /// open appenders — DCHECKed); the compactor uses them to swap in a
+  /// rewritten store. The mutex itself is not moved.
+  ContainerStore(ContainerStore&& other) noexcept
+      DEFRAG_NO_THREAD_SAFETY_ANALYSIS;
+  ContainerStore& operator=(ContainerStore&& other) noexcept
+      DEFRAG_NO_THREAD_SAFETY_ANALYSIS;
+  ContainerStore(const ContainerStore&) = delete;
+  ContainerStore& operator=(const ContainerStore&) = delete;
+
+  /// One stream's private append handle (see file comment). Movable,
+  /// non-copyable; the destructor seals any open container.
+  class StreamAppender {
+   public:
+    StreamAppender(StreamAppender&& other) noexcept;
+    StreamAppender& operator=(StreamAppender&&) = delete;
+    StreamAppender(const StreamAppender&) = delete;
+    StreamAppender& operator=(const StreamAppender&) = delete;
+    ~StreamAppender();
+
+    /// Append a chunk to this stream's open container, rolling to a fresh
+    /// one as needed. Charges the sequential write to `sim`.
+    ChunkLocation append(const Fingerprint& fp, ByteView data,
+                         SegmentId segment, DiskSim& sim);
+
+    /// Seal the open container and release the appender slot. Idempotent;
+    /// called by the destructor. After close() the stream's containers are
+    /// safely readable by threads that synchronize with the closer.
+    void close();
+
+   private:
+    friend class ContainerStore;
+    explicit StreamAppender(ContainerStore* store) : store_(store) {}
+
+    ContainerStore* store_ = nullptr;
+    Container* open_ = nullptr;  // exclusively owned until sealed
+  };
+
+  /// Open a concurrent append handle. Disables the serial append path for
+  /// the store's remaining lifetime (checked).
+  StreamAppender open_stream();
+
   /// Append a chunk to the open container, sealing/rolling as needed.
   /// Charges the sequential data write to `sim`. Returns the chunk location.
+  /// Serial path only — incompatible with open_stream() (checked).
   ChunkLocation append(const Fingerprint& fp, ByteView data, SegmentId segment,
                        DiskSim& sim);
 
   /// Seal the open container (end of a backup stream). Charges nothing: the
-  /// data was already charged on append.
+  /// data was already charged on append. Serial path only.
   void flush();
 
   /// Load a container for data access (restore path): one seek + full
@@ -50,27 +116,41 @@ class ContainerStore {
   /// Direct in-memory access without I/O charging (tests, accounting).
   const Container& peek(ContainerId id) const;
 
-  /// Container currently open for appends, or kInvalidContainer when none.
+  /// Container currently open for serial appends, or kInvalidContainer.
   ContainerId open_container() const;
 
-  std::size_t container_count() const { return containers_.size(); }
+  std::size_t container_count() const;
   std::uint64_t container_capacity() const { return capacity_; }
 
-  /// Total (raw) data bytes stored across all containers.
+  /// Total (raw) data bytes stored across all containers. Requires
+  /// quiescence: no open StreamAppender (DCHECKed).
   std::uint64_t total_data_bytes() const;
 
   /// Total physical bytes on disk (<= total_data_bytes when local
-  /// compression is on).
+  /// compression is on). Requires quiescence like total_data_bytes().
   std::uint64_t total_stored_bytes() const;
 
   bool compress_on_seal() const { return compress_on_seal_; }
 
  private:
-  Container& writable();
+  /// Serial-path open container, creating one as needed.
+  Container& writable() DEFRAG_REQUIRES(mu_);
+
+  /// Register and return a fresh container for an appender.
+  Container* allocate_container() DEFRAG_EXCLUDES(mu_);
+
+  /// Appender bookkeeping around close().
+  void appender_closed() DEFRAG_EXCLUDES(mu_);
+
+  const Container& container_at(ContainerId id) const DEFRAG_EXCLUDES(mu_);
 
   std::uint64_t capacity_;
   bool compress_on_seal_;
-  std::vector<std::unique_ptr<Container>> containers_;
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Container>> containers_ DEFRAG_GUARDED_BY(mu_);
+  bool stream_mode_ DEFRAG_GUARDED_BY(mu_) = false;
+  std::size_t active_appenders_ DEFRAG_GUARDED_BY(mu_) = 0;
 
   // Hot-path handles into the process-wide registry ("storage.container.*"),
   // resolved once at construction; pointers so stores stay assignable.

@@ -70,5 +70,65 @@ TEST(ThreadPoolTest, RejectsZeroThreads) {
   EXPECT_THROW(ThreadPool(0), CheckFailure);
 }
 
+TEST(ThreadPoolTest, ParallelForAggregatesEveryWorkerFailure) {
+  ThreadPool pool(4);
+  // Every index throws, so each of the min(n, threads) = 4 worker tasks
+  // dies on its first claimed index and all four failures must surface.
+  try {
+    pool.parallel_for(8, [](std::size_t i) {
+      throw std::runtime_error("idx" + std::to_string(i));
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.failures(), 4u);
+    EXPECT_NE(std::string(e.what()).find("4 of 4"), std::string::npos);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCollectsDistinctMessages) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(2, [](std::size_t i) {
+      throw std::runtime_error(i == 0 ? "alpha" : "beta");
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("alpha"), std::string::npos);
+    EXPECT_NE(what.find("beta"), std::string::npos);
+    EXPECT_EQ(e.failures(), 2u);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForJoinsSurvivorsBeforeThrowing) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(200);
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("one");
+                                   hits[i].fetch_add(1);
+                                 }),
+               ParallelForError);
+  // The surviving worker task must have processed every remaining index
+  // before parallel_for threw (no task left running after the call).
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.submitted, stats.completed);
+}
+
+TEST(ThreadPoolTest, ParallelForReportsNonStandardExceptions) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(1, [](std::size_t) { throw 42; });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.failures(), 1u);
+    EXPECT_NE(std::string(e.what()).find("<non-standard exception>"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace defrag

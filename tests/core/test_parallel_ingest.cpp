@@ -1,0 +1,132 @@
+#include "core/parallel_ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "testing/data.h"
+
+namespace defrag {
+namespace {
+
+/// Ground-truth unique bytes of a set of streams: chunk with the same
+/// chunker configuration and count each fingerprint's bytes once.
+std::uint64_t reference_unique_bytes(const ParallelIngestParams& params,
+                                     const std::vector<ByteView>& streams) {
+  const auto chunker = make_chunker(params.chunker_kind, params.chunker);
+  std::unordered_set<Fingerprint> seen;
+  std::uint64_t unique = 0;
+  for (const ByteView stream : streams) {
+    chunker->split_to(stream, [&](const ChunkRef& r) {
+      if (seen.insert(Fingerprint::of(stream.subspan(r.offset, r.size)))
+              .second) {
+        unique += r.size;
+      }
+    });
+  }
+  return unique;
+}
+
+TEST(ParallelIngestTest, EmptyStreamListIsZero) {
+  ParallelIngestor ingestor;
+  const ParallelIngestResult res = ingestor.ingest({});
+  EXPECT_EQ(res.logical_bytes, 0u);
+  EXPECT_EQ(res.unique_bytes, 0u);
+  EXPECT_TRUE(res.streams.empty());
+}
+
+TEST(ParallelIngestTest, SingleStreamMatchesReference) {
+  const Bytes data = testing::random_bytes(2 << 20, 500);
+  ParallelIngestParams params;
+  ParallelIngestor ingestor(params);
+  const ParallelIngestResult res = ingestor.ingest({ByteView(data)});
+
+  EXPECT_EQ(res.logical_bytes, data.size());
+  EXPECT_EQ(res.unique_bytes,
+            reference_unique_bytes(params, {ByteView(data)}));
+  EXPECT_EQ(res.unique_bytes + res.dup_bytes, res.logical_bytes);
+  EXPECT_EQ(ingestor.index().size(),
+            res.streams[0].unique_chunks);
+  EXPECT_EQ(ingestor.index().pending_claims(), 0u);
+}
+
+// The determinism guarantee of the claim/publish protocol: two identical
+// streams racing each other must dedup to exactly one stream's worth of
+// unique bytes, no matter how the threads interleave — so repeated runs
+// give bit-identical totals.
+TEST(ParallelIngestTest, IdenticalConcurrentStreamsDedupDeterministically) {
+  const Bytes data = testing::random_bytes(1 << 20, 501);
+  ParallelIngestParams params;
+  const std::uint64_t reference =
+      reference_unique_bytes(params, {ByteView(data)});
+
+  for (int run = 0; run < 5; ++run) {
+    ParallelIngestor ingestor(params);
+    const ParallelIngestResult res =
+        ingestor.ingest({ByteView(data), ByteView(data), ByteView(data)});
+    EXPECT_EQ(res.logical_bytes, 3 * data.size());
+    EXPECT_EQ(res.unique_bytes, reference) << "run " << run;
+    EXPECT_EQ(res.dup_bytes, res.logical_bytes - reference);
+    EXPECT_EQ(ingestor.index().pending_claims(), 0u);
+  }
+}
+
+TEST(ParallelIngestTest, DisjointStreamsShareNothing) {
+  const Bytes a = testing::random_bytes(512 * 1024, 502);
+  const Bytes b = testing::random_bytes(512 * 1024, 503);
+  ParallelIngestParams params;
+  ParallelIngestor ingestor(params);
+  const ParallelIngestResult res =
+      ingestor.ingest({ByteView(a), ByteView(b)});
+  EXPECT_EQ(res.unique_bytes,
+            reference_unique_bytes(params, {ByteView(a), ByteView(b)}));
+  // Random content: essentially everything is unique.
+  EXPECT_EQ(res.dup_bytes, 0u);
+  EXPECT_GE(ingestor.store().container_count(), 1u);
+}
+
+TEST(ParallelIngestTest, PipelinedWorkersGiveIdenticalTotals) {
+  const Bytes data = testing::random_bytes(1 << 20, 504);
+  ParallelIngestParams sync_params;
+  ParallelIngestParams piped_params;
+  piped_params.pipeline_workers = 2;
+
+  ParallelIngestor sync_ingestor(sync_params);
+  ParallelIngestor piped_ingestor(piped_params);
+  const auto sync_res = sync_ingestor.ingest({ByteView(data), ByteView(data)});
+  const auto piped_res =
+      piped_ingestor.ingest({ByteView(data), ByteView(data)});
+
+  EXPECT_EQ(sync_res.unique_bytes, piped_res.unique_bytes);
+  EXPECT_EQ(sync_res.chunk_count, piped_res.chunk_count);
+  EXPECT_EQ(sync_ingestor.index().size(), piped_ingestor.index().size());
+}
+
+TEST(ParallelIngestTest, PerStreamStatsAddUp) {
+  const Bytes data = testing::random_bytes(1 << 20, 505);
+  ParallelIngestor ingestor;
+  const ParallelIngestResult res =
+      ingestor.ingest({ByteView(data), ByteView(data)});
+  ASSERT_EQ(res.streams.size(), 2u);
+  std::uint64_t unique = 0;
+  std::uint64_t dup = 0;
+  std::uint64_t chunks = 0;
+  for (const StreamIngestStats& st : res.streams) {
+    EXPECT_EQ(st.unique_chunks + st.dup_chunks, st.chunk_count);
+    EXPECT_EQ(st.unique_bytes + st.dup_bytes, st.logical_bytes);
+    EXPECT_GT(st.sim_seconds, 0.0);
+    unique += st.unique_bytes;
+    dup += st.dup_bytes;
+    chunks += st.chunk_count;
+  }
+  EXPECT_EQ(unique, res.unique_bytes);
+  EXPECT_EQ(dup, res.dup_bytes);
+  EXPECT_EQ(chunks, res.chunk_count);
+  EXPECT_GT(res.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace defrag

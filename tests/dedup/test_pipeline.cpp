@@ -76,5 +76,40 @@ TEST(StreamPipelineTest, RejectsZeroBatch) {
   EXPECT_THROW(StreamPipeline(chunker, 2, 0), CheckFailure);
 }
 
+// The bit-identical guarantee across worker counts: any pipeline width must
+// reproduce the synchronous chunk sequence exactly, run after run.
+TEST(StreamPipelineTest, DeterministicAcrossWorkerCounts) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(4 << 20, 134);
+  const auto reference = synchronous(chunker, data);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    StreamPipeline pipeline(chunker, workers);
+    for (int run = 0; run < 3; ++run) {
+      EXPECT_TRUE(equal_chunks(pipeline.run(data), reference))
+          << workers << " workers, run " << run;
+    }
+  }
+}
+
+// Busy-time semantics (docs/OBSERVABILITY.md): chunk/fingerprint are busy
+// times, not wall-clock partitions, and the producer accounts its queue
+// stalls separately.
+TEST(StreamPipelineTest, StatsReportBusyTimesAndOverlap) {
+  GearChunker chunker;
+  const Bytes data = testing::random_bytes(2 << 20, 135);
+  StreamPipeline pipeline(chunker, 2);
+  PipelineStats stats;
+  pipeline.run(data, &stats);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_GT(stats.chunk_seconds, 0.0);
+  EXPECT_GT(stats.fingerprint_seconds, 0.0);
+  EXPECT_GE(stats.producer_stall_seconds, 0.0);
+  // chunk_seconds excludes stalls, so producer busy + stall fits in the
+  // producer's wall time.
+  EXPECT_LE(stats.chunk_seconds + stats.producer_stall_seconds,
+            stats.wall_seconds + 0.05);
+  EXPECT_GE(stats.overlap_seconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace defrag

@@ -4,6 +4,7 @@
 //                       [--users 1] [--seed N] [--files N] [--verify]
 //                       [--scrub] [--gc-keep N]
 //                       [--metrics-json FILE] [--trace-out FILE]
+//                       [--parallel-ingest N [--pipeline-workers W]]
 //   defrag-cli trace    --generations 10 --out trace.dftr [--users 5]
 //   defrag-cli analyze  --in trace.dftr
 //   defrag-cli engines
@@ -15,6 +16,9 @@
 // generations. `--metrics-json` dumps the full metrics registry
 // (schema defrag.metrics.v1, see docs/OBSERVABILITY.md) and `--trace-out`
 // writes a Chrome trace-event file loadable at https://ui.perfetto.dev.
+// `--parallel-ingest N` switches backup to the multi-stream ingest fast
+// path (N concurrent streams per wave; see core/parallel_ingest.h), with
+// `--pipeline-workers W` enabling each stream's SPSC fingerprint pipeline.
 // `trace` records the series' chunk sequence to a portable .dftr file;
 // `analyze` reports dedup statistics of any such file.
 #include <cstdio>
@@ -29,6 +33,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/dedup_system.h"
+#include "core/parallel_ingest.h"
 #include "dedup/integrity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,7 +99,106 @@ int cmd_engines() {
   return 0;
 }
 
+/// `backup --parallel-ingest N`: the multi-stream ingest fast path. The
+/// series' generations are ingested in waves of N concurrent streams
+/// through one shared ParallelIngestor (lock-striped index + per-stream
+/// container appenders). Ingest-only: it reports dedup totals and
+/// wall-clock throughput, not recipes/restore — `--verify`, `--scrub` and
+/// `--gc-keep` do not apply here.
+int cmd_backup_parallel(const Args& args) {
+  const auto streams_per_wave = static_cast<std::size_t>(
+      std::stoul(args.get("parallel-ingest", "2")));
+  if (streams_per_wave < 1) {
+    std::fprintf(stderr, "--parallel-ingest needs N >= 1\n");
+    return 2;
+  }
+  const auto generations =
+      static_cast<std::uint32_t>(std::stoul(args.get("generations", "10")));
+  const auto users =
+      static_cast<std::uint32_t>(std::stoul(args.get("users", "1")));
+  const std::uint64_t seed = std::stoull(args.get("seed", "42"));
+  const std::string metrics_path = args.get("metrics-json", "");
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
+
+  ParallelIngestParams params;
+  params.pipeline_workers = static_cast<std::size_t>(
+      std::stoul(args.get("pipeline-workers", "0")));
+  ParallelIngestor ingestor(params);
+
+  auto fs = fs_from(args);
+  workload::SingleUserSeries single(seed, fs);
+  workload::MultiUserSeries multi(seed, fs);
+
+  Table t({"wave", "stream", "logical", "unique", "dup", "chunks", "MB_s"});
+  std::uint64_t logical_total = 0;
+  std::uint64_t unique_total = 0;
+  double wall_total = 0.0;
+  std::uint32_t done = 0;
+  std::uint32_t wave = 0;
+  while (done < generations) {
+    ++wave;
+    std::vector<workload::Backup> backups;
+    while (done < generations && backups.size() < streams_per_wave) {
+      backups.push_back(users > 1 ? multi.next() : single.next());
+      ++done;
+    }
+    std::vector<ByteView> views;
+    views.reserve(backups.size());
+    for (const workload::Backup& b : backups) views.emplace_back(b.stream);
+
+    const ParallelIngestResult r = ingestor.ingest(views);
+    for (const StreamIngestStats& st : r.streams) {
+      t.add_row({Table::integer(wave),
+                 Table::integer(static_cast<long long>(st.stream)),
+                 format_bytes(st.logical_bytes), format_bytes(st.unique_bytes),
+                 format_bytes(st.dup_bytes),
+                 Table::integer(static_cast<long long>(st.chunk_count)),
+                 Table::num(mb_per_sec(st.logical_bytes, st.wall_seconds), 1)});
+    }
+    logical_total += r.logical_bytes;
+    unique_total += r.unique_bytes;
+    wall_total += r.wall_seconds;
+  }
+  t.print();
+
+  std::printf(
+      "\nparallel ingest (%zu streams/wave): %s logical -> %s unique, "
+      "%.1f MB/s wall aggregate\n",
+      streams_per_wave, format_bytes(logical_total).c_str(),
+      format_bytes(unique_total).c_str(),
+      mb_per_sec(logical_total, wall_total));
+  std::printf("store: %zu containers, index: %zu published chunks\n",
+              ingestor.store().container_count(), ingestor.index().size());
+
+  auto& registry = obs::MetricsRegistry::global();
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    obs::write_metrics_json(registry.snapshot(), out);
+    std::printf("metrics: wrote %zu metrics to %s\n", registry.size(),
+                metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      return 2;
+    }
+    auto& recorder = obs::TraceRecorder::global();
+    recorder.write_chrome_json(out);
+    std::printf("trace: wrote %zu events to %s (load at ui.perfetto.dev)\n",
+                recorder.event_count(), trace_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_backup(const Args& args) {
+  if (args.flag("parallel-ingest")) return cmd_backup_parallel(args);
   const auto kind = engine_by_name(args.get("engine", "defrag"));
   if (!kind) {
     std::fprintf(stderr, "unknown engine; try `defrag-cli engines`\n");
@@ -297,7 +401,8 @@ int main(int argc, char** argv) {
                  "  backup: --engine NAME --generations N [--alpha A]\n"
                  "          [--users N] [--seed N] [--files N] [--verify]\n"
                  "          [--scrub] [--gc-keep N] [--metrics-json FILE]\n"
-                 "          [--trace-out FILE]\n");
+                 "          [--trace-out FILE]\n"
+                 "          [--parallel-ingest N [--pipeline-workers W]]\n");
     return 2;
   }
   if (args->command == "engines") return cmd_engines();
