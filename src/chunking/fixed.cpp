@@ -1,5 +1,6 @@
 #include "chunking/fixed.h"
 
+#include "chunking/chunker.h"
 #include "common/check.h"
 
 namespace defrag {

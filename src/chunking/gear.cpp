@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "chunking/chunker.h"
 #include "common/check.h"
 #include "common/rng.h"
 

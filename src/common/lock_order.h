@@ -1,0 +1,80 @@
+// Canonical lock hierarchy + debug lock-order validator interface.
+//
+// Every long-lived defrag::Mutex is constructed with one of the ranks below;
+// a thread may only acquire a ranked mutex whose level is STRICTLY greater
+// than the level of every ranked mutex it already holds. Two consequences:
+//
+//   - cross-module acquisition follows one global order, so no cycle (and
+//     therefore no deadlock) is possible among ranked locks;
+//   - locks sharing a rank (e.g. the per-shard index mutexes) never nest:
+//     aggregate over them one at a time, as ShardedPagedIndex::size() does.
+//
+// The hierarchy, outermost (acquired first) to innermost (see
+// docs/STATIC_ANALYSIS.md "Lock ordering" for the full diagram and
+// rationale; tools/lock_graph_lint.py parses THIS file, so keep the
+// `inline constexpr Rank` declarations one-per-line):
+//
+//   container_store (10)  ContainerStore::mu_ — container table + roll
+//   index_shard     (20)  ShardedPagedIndex::Shard::mu — one stripe each
+//   metrics_registry(30)  MetricsRegistry::mu_ — name->slot map
+//   trace_recorder  (40)  TraceRecorder::mu_ — event log + epoch
+//   thread_pool     (50)  ThreadPool::mu_ — task queue (leaf: submit() may
+//                         be reached from under any data-plane lock)
+//
+// The validator is the dynamic half of the discipline: the static half
+// (tools/lock_graph_lint.py, ctest `lock_graph_lint`) proves the declared
+// graph is acyclic and that every multi-lock scope in src/ respects it,
+// while the validator checks the *actual* acquisition order of every
+// ranked mutex at runtime against the same declaration. It is enabled by
+// default in debug builds (!NDEBUG), disabled in release builds, and can be
+// forced either way with the DEFRAG_LOCK_ORDER_CHECKS environment variable
+// ("1"/"0", read once at startup) or set_enabled() — the TSan CI job forces
+// it on so the declarations are exercised under the stress tests. An
+// inversion fails fatally through the DEFRAG_CHECK machinery (CheckFailure
+// naming both locks and the held chain).
+#pragma once
+
+#include <cstddef>
+
+namespace defrag::lock_order {
+
+/// One level of the lock hierarchy. Ranks are compared by `level` only;
+/// `name` is for diagnostics. Mutexes at the same level must never nest.
+struct Rank {
+  const char* name;
+  int level;  // higher = acquired later (innermost); -1 = unranked
+};
+
+/// Default rank: the validator ignores unranked mutexes (short-lived test
+/// locals). Every Mutex member in src/ must carry a real rank —
+/// tools/lock_graph_lint.py fails the build otherwise.
+inline constexpr Rank kUnranked{"unranked", -1};
+
+// The canonical hierarchy (keep levels strictly increasing top to bottom).
+inline constexpr Rank kContainerStore{"container_store", 10};
+inline constexpr Rank kIndexShard{"index_shard", 20};
+inline constexpr Rank kMetricsRegistry{"metrics_registry", 30};
+inline constexpr Rank kTraceRecorder{"trace_recorder", 40};
+inline constexpr Rank kThreadPool{"thread_pool", 50};
+
+/// Whether the validator is checking acquisitions on this process.
+bool enabled();
+
+/// Turn the validator on/off at runtime (tests; overrides the default).
+void set_enabled(bool on);
+
+/// Ranked locks the calling thread currently holds (tests).
+std::size_t held_count();
+
+/// Record that the calling thread is acquiring `mu` with rank `rank`.
+/// Throws CheckFailure if any held ranked lock has level >= rank.level
+/// (lock-order inversion / same-level nesting / recursive acquisition).
+/// Called by Mutex::lock() before blocking, so a detected inversion fails
+/// before it can deadlock.
+void note_acquire(const void* mu, const Rank& rank);
+
+/// Record that the calling thread released `mu`. Tolerates release of a
+/// lock acquired while the validator was disabled.
+void note_release(const void* mu);
+
+}  // namespace defrag::lock_order

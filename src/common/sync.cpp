@@ -1,0 +1,88 @@
+// Debug lock-order validator: per-thread held-lock stack checked against the
+// declared ranks in common/lock_order.h. See that header for the contract.
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/lock_order.h"
+#include "common/sync.h"
+
+namespace defrag::lock_order {
+
+namespace {
+
+/// Default: on in debug builds, off in release; DEFRAG_LOCK_ORDER_CHECKS=1/0
+/// in the environment overrides (read once, first use).
+bool initial_enabled() {
+  if (const char* env = std::getenv("DEFRAG_LOCK_ORDER_CHECKS")) {
+    return env[0] != '\0' && env[0] != '0';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool> g_enabled{initial_enabled()};
+
+struct Held {
+  const void* mu;
+  const Rank* rank;
+};
+
+/// The calling thread's ranked-lock stack, in acquisition order. Unranked
+/// mutexes are never recorded.
+thread_local std::vector<Held> t_held;
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+void note_acquire(const void* mu, const Rank& rank) {
+  for (const Held& h : t_held) {
+    if (h.rank->level < rank.level && h.mu != mu) continue;
+    std::string msg = "lock-order inversion: acquiring '";
+    msg += rank.name;
+    msg += "' (level " + std::to_string(rank.level) + ")";
+    if (h.mu == mu) {
+      msg += " recursively";
+    } else {
+      msg += " while holding '";
+      msg += h.rank->name;
+      msg += "' (level " + std::to_string(h.rank->level) +
+             "); ranked locks must be acquired in strictly increasing "
+             "level order (same-level locks never nest)";
+    }
+    msg += "; held chain:";
+    for (const Held& held : t_held) {
+      msg += " ";
+      msg += held.rank->name;
+      msg += "(" + std::to_string(held.rank->level) + ")";
+    }
+    check_failed("lock_order", __FILE__, __LINE__, msg);
+  }
+  t_held.push_back(Held{mu, &rank});
+}
+
+void note_release(const void* mu) {
+  // Unlock order may legally differ from lock order; erase the most recent
+  // matching entry. A miss means the lock was taken while the validator was
+  // off — ignore it.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace defrag::lock_order

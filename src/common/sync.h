@@ -14,8 +14,19 @@
 //   DEFRAG_ACQUIRE(mu) / DEFRAG_RELEASE(mu)
 //                            function acquires/releases mu
 //   DEFRAG_EXCLUDES(mu)      function must be called with mu NOT held
+//   DEFRAG_ACQUIRED_BEFORE(mu) / DEFRAG_ACQUIRED_AFTER(mu)
+//                            declared acquisition order between two mutexes
+//                            (parsed by tools/lock_graph_lint.py; Clang only
+//                            analyzes these under -Wthread-safety-beta)
 //   DEFRAG_NO_THREAD_SAFETY_ANALYSIS
 //                            opt a function out (justify in a comment)
+//
+// Lock ordering: every long-lived Mutex is additionally constructed with a
+// rank from common/lock_order.h. The ranks declare the one global
+// acquisition order; tools/lock_graph_lint.py proves the declared graph
+// acyclic and scans src/ for multi-lock scopes that violate it, and the
+// debug lock-order validator (sync.cpp) cross-checks the actual runtime
+// acquisition order of every ranked mutex against the same declaration.
 //
 // Lock-free code (SpscQueue, obs::Counter/Gauge) is outside this analysis;
 // its contract is documented at the atomic sites with the required
@@ -24,6 +35,8 @@
 
 #include <condition_variable>
 #include <mutex>
+
+#include "common/lock_order.h"
 
 #if defined(__clang__)
 #define DEFRAG_THREAD_ANNOTATION(x) __attribute__((x))
@@ -44,25 +57,59 @@
 #define DEFRAG_REQUIRES(...) \
   DEFRAG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
 #define DEFRAG_EXCLUDES(...) DEFRAG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define DEFRAG_ACQUIRED_BEFORE(...) \
+  DEFRAG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DEFRAG_ACQUIRED_AFTER(...) \
+  DEFRAG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
 #define DEFRAG_RETURN_CAPABILITY(x) DEFRAG_THREAD_ANNOTATION(lock_returned(x))
 #define DEFRAG_NO_THREAD_SAFETY_ANALYSIS \
   DEFRAG_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 namespace defrag {
 
-/// std::mutex with a capability annotation so guarded fields can name it.
+/// std::mutex with a capability annotation so guarded fields can name it,
+/// plus an optional lock-order rank (common/lock_order.h). Ranked mutexes
+/// are checked by the debug lock-order validator: acquiring one with a
+/// level <= any ranked lock already held by this thread fails fatally.
+/// Every Mutex member in src/ must be ranked (lock_graph_lint enforces).
 class DEFRAG_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const lock_order::Rank& rank) : rank_(&rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() DEFRAG_ACQUIRE() { mu_.lock(); }
-  void unlock() DEFRAG_RELEASE() { mu_.unlock(); }
-  bool try_lock() DEFRAG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() DEFRAG_ACQUIRE() {
+    // Checked before blocking, so a declared inversion fails fast instead
+    // of deadlocking under the wrong interleaving.
+    if (rank_->level >= 0 && lock_order::enabled()) {
+      lock_order::note_acquire(this, *rank_);
+    }
+    mu_.lock();
+  }
+  void unlock() DEFRAG_RELEASE() {
+    mu_.unlock();
+    if (rank_->level >= 0 && lock_order::enabled()) {
+      lock_order::note_release(this);
+    }
+  }
+  bool try_lock() DEFRAG_TRY_ACQUIRE(true) {
+    // try_lock cannot deadlock, but an out-of-order try is still a
+    // hierarchy violation — check before attempting.
+    if (rank_->level >= 0 && lock_order::enabled()) {
+      lock_order::note_acquire(this, *rank_);
+      if (mu_.try_lock()) return true;
+      lock_order::note_release(this);
+      return false;
+    }
+    return mu_.try_lock();
+  }
+
+  const lock_order::Rank& rank() const { return *rank_; }
 
  private:
   std::mutex mu_;
+  const lock_order::Rank* rank_ = &lock_order::kUnranked;
 };
 
 /// Scoped lock (std::lock_guard shape). The scoped_lockable annotation lets

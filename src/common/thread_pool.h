@@ -98,7 +98,9 @@ class ThreadPool {
  private:
   void worker_loop() DEFRAG_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  // Leaf of the lock hierarchy: submit() may be reached from under any
+  // data-plane lock, and nothing is acquired while mu_ is held.
+  mutable Mutex mu_{lock_order::kThreadPool};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ DEFRAG_GUARDED_BY(mu_);
   bool stopping_ DEFRAG_GUARDED_BY(mu_) = false;

@@ -3,9 +3,17 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "dedup/ddfs_engine.h"
+#include "dedup/engine.h"
+#include "index/paged_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

@@ -1,14 +1,17 @@
 #include "core/dedup_system.h"
 
 #include "common/check.h"
-#include "obs/metrics.h"
-#include "obs/timer.h"
-#include "obs/trace.h"
 #include "core/cbr_engine.h"
 #include "core/defrag_engine.h"
 #include "dedup/ddfs_engine.h"
+#include "dedup/engine.h"
 #include "dedup/silo_engine.h"
 #include "dedup/sparse_engine.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+#include "storage/catalog.h"
+#include "workload/backup_series.h"
 
 namespace defrag {
 

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "dedup/ddfs_engine.h"
+#include "dedup/engine.h"
 
 namespace defrag {
 

@@ -2,13 +2,23 @@
 
 #include <chrono>
 #include <future>
+#include <optional>
 #include <utility>
 
+#include "chunking/chunker.h"
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
+#include "dedup/pipeline.h"
+#include "index/paged_index.h"
+#include "index/sharded_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/container_store.h"
+#include "storage/disk_model.h"
 
 namespace defrag {
 
@@ -31,16 +41,15 @@ ParallelIngestor::ParallelIngestor(const ParallelIngestParams& params)
       index_(params.index_shards, params.index),
       store_(params.container_bytes, params.compress_containers) {}
 
-StreamIngestStats ParallelIngestor::ingest_one(std::size_t stream_id,
-                                               ByteView stream) {
+StreamIngestStats ParallelIngestor::ingest_one(
+    std::size_t stream_id, ByteView stream, DiskSim& sim,
+    std::vector<Fingerprint>& pending) {
   const obs::TraceSpan span("parallel_ingest.stream", "ingest");
   const auto wall_start = std::chrono::steady_clock::now();
 
   StreamIngestStats st;
   st.stream = stream_id;
   st.logical_bytes = stream.size();
-
-  DiskSim sim(params_.disk);
 
   // Chunk + fingerprint. With pipeline workers the stream gets its own SPSC
   // pipeline (run() is single-caller, so pipelines cannot be shared across
@@ -76,7 +85,10 @@ StreamIngestStats ParallelIngestor::ingest_one(std::size_t stream_id,
         break;
       }
       case ShardedPagedIndex::ClaimState::kPending:
+        // The claimant has not published yet; queue the fingerprint and
+        // charge the published-location lookup post-join (see ingest()).
         ++st.pending_dup_chunks;
+        pending.push_back(c.fp);
         [[fallthrough]];
       case ShardedPagedIndex::ClaimState::kExisting:
         ++st.dup_chunks;
@@ -86,8 +98,6 @@ StreamIngestStats ParallelIngestor::ingest_one(std::size_t stream_id,
   }
   appender.close();
 
-  st.io = sim.stats();
-  st.sim_seconds = sim.elapsed_seconds();
   st.wall_seconds = seconds_since(wall_start);
   return st;
 }
@@ -99,18 +109,48 @@ ParallelIngestResult ParallelIngestor::ingest(
 
   ParallelIngestResult res;
   res.streams.resize(streams.size());
+  std::vector<DiskSim> sims(streams.size(), DiskSim(params_.disk));
+  std::vector<std::vector<Fingerprint>> pending(streams.size());
   if (!streams.empty()) {
     ThreadPool pool(streams.size());
     std::vector<std::future<StreamIngestStats>> futures;
     futures.reserve(streams.size());
     for (std::size_t i = 0; i < streams.size(); ++i) {
-      futures.push_back(pool.submit(
-          [this, i, view = streams[i]] { return ingest_one(i, view); }));
+      futures.push_back(pool.submit([this, i, view = streams[i], &sims,
+                                     &pending] {
+        return ingest_one(i, view, sims[i], pending[i]);
+      }));
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {
       res.streams[i] = futures[i].get();
     }
   }
+
+  // Post-join: every claim has been published (the claimant's stream loop
+  // finished), so kPending duplicates can now pay the published-location
+  // lookup they skipped inline — charged to the owning stream's sim, as a
+  // serial ingest of that stream would have paid it.
+  std::uint64_t resolved = 0;
+  std::uint64_t charged = 0;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (const Fingerprint& fp : pending[i]) {
+      const std::optional<IndexValue> hit = index_.lookup(fp, sims[i]);
+      DEFRAG_CHECK_MSG(hit.has_value(),
+                       "pending duplicate has no published location "
+                       "after all streams joined");
+      ++charged;
+    }
+    resolved += pending[i].size();
+    StreamIngestStats& st = res.streams[i];
+    DEFRAG_CHECK_MSG(pending[i].size() == st.pending_dup_chunks,
+                     "pending fingerprint queue disagrees with "
+                     "pending_dup_chunks");
+    st.io = sims[i].stats();
+    st.sim_seconds = sims[i].elapsed_seconds();
+  }
+  DEFRAG_CHECK_MSG(charged == resolved,
+                   "charged published-location lookups != resolved "
+                   "pending duplicates");
   res.wall_seconds = seconds_since(wall_start);
 
   auto& reg = obs::MetricsRegistry::global();
@@ -128,6 +168,7 @@ ParallelIngestResult ParallelIngestor::ingest(
   reg.counter("dedup.parallel.chunks").add(res.chunk_count);
   reg.counter("dedup.parallel.unique_bytes").add(res.unique_bytes);
   reg.counter("dedup.parallel.dup_bytes").add(res.dup_bytes);
+  reg.counter("dedup.parallel.pending_resolved").add(resolved);
   reg.gauge("dedup.parallel.last_throughput_mb_s").set(res.throughput_mb_s());
 
   // Every claim must have been published before the streams joined.

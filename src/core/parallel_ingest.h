@@ -12,9 +12,13 @@
 // a chunk's first claimant appends and publishes it; every other stream
 // sees kExisting or kPending and counts the chunk as a duplicate. Exactly
 // one stream wins any fingerprint, so total unique bytes is deterministic
-// under any interleaving (kPending duplicates are not charged the published
-// location lookup — the fast path trades that metadata precision for not
-// blocking on other streams).
+// under any interleaving. A kPending duplicate cannot pay the published-
+// location lookup inline (the claimant has not published yet, and blocking
+// on it would serialize the streams), so its fingerprint is queued and the
+// lookup is charged to the owning stream's DiskSim after all streams have
+// joined — every claim is published by then (checked), so recipe-grade
+// location metadata is available for every duplicate and the charged
+// lookup count exactly equals the resolved-duplicate count (checked).
 //
 // This is an ingest-only fast path: it produces store + index state and
 // throughput numbers, not per-generation recipes (restore experiments stay
@@ -30,7 +34,9 @@
 #include <vector>
 
 #include "chunking/chunker.h"
+#include "common/fingerprint.h"
 #include "dedup/pipeline.h"
+#include "index/paged_index.h"
 #include "index/sharded_index.h"
 #include "storage/container_store.h"
 #include "storage/disk_model.h"
@@ -65,7 +71,9 @@ struct StreamIngestStats {
   std::uint64_t dup_chunks = 0;
   std::uint64_t dup_bytes = 0;
   /// Duplicates resolved against another stream's in-flight claim
-  /// (kPending) rather than a published entry.
+  /// (kPending) rather than a published entry. Their published-location
+  /// lookups are charged to this stream's sim post-join, so `io` and
+  /// `sim_seconds` include them.
   std::uint64_t pending_dup_chunks = 0;
   IoStats io;
   double sim_seconds = 0.0;
@@ -97,7 +105,13 @@ class ParallelIngestor {
   const ContainerStore& store() const { return store_; }
 
  private:
-  StreamIngestStats ingest_one(std::size_t stream_id, ByteView stream);
+  /// One stream's ingest loop. `sim` and `pending` outlive the call: the
+  /// caller charges the post-join published-location lookups for the
+  /// fingerprints left in `pending` to the same sim, then snapshots it
+  /// into the stream's stats.
+  StreamIngestStats ingest_one(std::size_t stream_id, ByteView stream,
+                               DiskSim& sim,
+                               std::vector<Fingerprint>& pending);
 
   ParallelIngestParams params_;
   std::unique_ptr<Chunker> chunker_;

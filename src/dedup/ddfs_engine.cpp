@@ -1,8 +1,14 @@
 #include "dedup/ddfs_engine.h"
 
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "dedup/engine.h"
+#include "index/paged_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

@@ -19,10 +19,13 @@
 #include <optional>
 #include <string>
 
+#include "chunking/segmenter.h"
 #include "dedup/engine.h"
 #include "dedup/metadata_cache.h"
 #include "index/bloom_filter.h"
 #include "index/paged_index.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
 
 namespace defrag {
 

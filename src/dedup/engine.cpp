@@ -1,11 +1,18 @@
 #include "dedup/engine.h"
 
+#include "chunking/chunker.h"
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/units.h"
+#include "dedup/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
 #include "storage/lru_cache.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

@@ -23,6 +23,7 @@
 
 #include "chunking/chunker.h"
 #include "chunking/segmenter.h"
+#include "common/fingerprint.h"
 #include "dedup/pipeline.h"
 #include "index/paged_index.h"
 #include "storage/container_store.h"

@@ -1,7 +1,11 @@
 #include "dedup/integrity.h"
 
 #include "common/fingerprint.h"
+#include "storage/container.h"
+#include "storage/container_store.h"
+#include "storage/disk_model.h"
 #include "storage/lru_cache.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

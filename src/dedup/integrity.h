@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/container.h"
 #include "storage/container_store.h"
 #include "storage/disk_model.h"
 #include "storage/recipe.h"

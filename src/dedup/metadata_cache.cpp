@@ -1,6 +1,8 @@
 #include "dedup/metadata_cache.h"
 
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "storage/container.h"
 
 namespace defrag {
 

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "chunking/chunker.h"
+#include "chunking/segmenter.h"
 #include "common/check.h"
 #include "common/fingerprint.h"
 #include "common/spsc_queue.h"

@@ -5,7 +5,12 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "dedup/engine.h"
+#include "storage/container_store.h"
+#include "storage/disk_model.h"
 #include "storage/lru_cache.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

@@ -22,6 +22,7 @@
 #include "common/bytes.h"
 #include "dedup/engine.h"
 #include "storage/container_store.h"
+#include "storage/disk_model.h"
 #include "storage/recipe.h"
 
 namespace defrag {

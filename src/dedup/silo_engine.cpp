@@ -1,9 +1,15 @@
 #include "dedup/silo_engine.h"
 
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/rng.h"
+#include "dedup/engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

@@ -18,8 +18,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "dedup/engine.h"
 #include "index/similarity_index.h"
+#include "storage/container.h"
 
 namespace defrag {
 

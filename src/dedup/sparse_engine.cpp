@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "dedup/engine.h"
 #include "index/similarity_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

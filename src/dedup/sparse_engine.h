@@ -15,7 +15,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chunking/segmenter.h"
+#include "common/fingerprint.h"
 #include "dedup/engine.h"
+#include "storage/container.h"
 
 namespace defrag {
 

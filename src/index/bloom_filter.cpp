@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "obs/metrics.h"
 
 namespace defrag {
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "chunking/gear.h"
+#include "common/fingerprint.h"
 #include "common/rng.h"
 
 namespace defrag {

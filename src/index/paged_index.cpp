@@ -1,6 +1,9 @@
 #include "index/paged_index.h"
 
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "obs/metrics.h"
+#include "storage/disk_model.h"
 
 namespace defrag {
 

@@ -3,6 +3,9 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "index/paged_index.h"
+#include "storage/disk_model.h"
 
 namespace defrag {
 

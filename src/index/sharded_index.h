@@ -45,6 +45,7 @@
 #include "common/fingerprint.h"
 #include "common/sync.h"
 #include "index/paged_index.h"
+#include "storage/disk_model.h"
 
 namespace defrag {
 
@@ -105,7 +106,9 @@ class ShardedPagedIndex {
  private:
   struct Shard {
     explicit Shard(const PagedIndexParams& params) : index(params) {}
-    mutable Mutex mu;
+    // All shards share one rank, so the validator rejects nesting two of
+    // them: aggregate accessors must lock shards one at a time.
+    mutable Mutex mu{lock_order::kIndexShard};
     PagedIndex index DEFRAG_GUARDED_BY(mu);
     std::unordered_set<Fingerprint> claims DEFRAG_GUARDED_BY(mu);
   };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
 
 namespace defrag {
 

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "common/stats.h"
 #include "obs/json_writer.h"
 
 namespace defrag::obs {

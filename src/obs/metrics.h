@@ -174,7 +174,11 @@ class MetricsRegistry {
   // stability), and their own update rules — relaxed atomics for
   // Counter/Gauge, single-thread or shard-and-merge for Histogram — are
   // documented at the class definitions above.
-  mutable Mutex mu_;
+  // Rank kMetricsRegistry: registration may be reached from under the
+  // data-plane locks (store/index), never the other way around. merge_from()
+  // deliberately snapshots the source BEFORE locking the target, so two
+  // registries (same rank) are never held together.
+  mutable Mutex mu_{lock_order::kMetricsRegistry};
   std::map<std::string, Slot, std::less<>> slots_ DEFRAG_GUARDED_BY(mu_);
 };
 

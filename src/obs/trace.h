@@ -67,7 +67,7 @@ class TraceRecorder {
   // span); everything the recorder mutates — the event log and the epoch —
   // is guarded by mu_.
   std::atomic<bool> enabled_{false};
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_order::kTraceRecorder};
   Clock::time_point epoch_ DEFRAG_GUARDED_BY(mu_);
   bool epoch_anchored_ DEFRAG_GUARDED_BY(mu_) = false;
   std::vector<TraceEvent> events_ DEFRAG_GUARDED_BY(mu_);

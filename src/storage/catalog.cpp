@@ -2,7 +2,9 @@
 
 #include "common/check.h"
 #include "storage/container_store.h"
+#include "storage/disk_model.h"
 #include "storage/lru_cache.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

@@ -6,6 +6,10 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/container.h"
+#include "storage/container_store.h"
+#include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 

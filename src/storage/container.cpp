@@ -1,6 +1,7 @@
 #include "storage/container.h"
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "compress/lzss.h"
 
 namespace defrag {

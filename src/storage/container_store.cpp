@@ -3,6 +3,10 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
+#include "obs/metrics.h"
+#include "storage/container.h"
+#include "storage/disk_model.h"
 
 namespace defrag {
 

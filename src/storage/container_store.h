@@ -38,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/sync.h"
 #include "obs/metrics.h"
 #include "storage/container.h"
@@ -147,7 +148,9 @@ class ContainerStore {
   std::uint64_t capacity_;
   bool compress_on_seal_;
 
-  mutable Mutex mu_;
+  // Outermost data-plane lock: nothing else is acquired while mu_ is held
+  // (obs counters are lock-free handles resolved at construction).
+  mutable Mutex mu_{lock_order::kContainerStore};
   std::vector<std::unique_ptr<Container>> containers_ DEFRAG_GUARDED_BY(mu_);
   bool stream_mode_ DEFRAG_GUARDED_BY(mu_) = false;
   std::size_t active_appenders_ DEFRAG_GUARDED_BY(mu_) = 0;

@@ -1,6 +1,7 @@
 #include "workload/backup_series.h"
 
 #include "common/rng.h"
+#include "workload/fs_model.h"
 
 namespace defrag::workload {
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "workload/content.h"
 
 namespace defrag::workload {
 

@@ -4,7 +4,9 @@
 #include <ostream>
 #include <unordered_set>
 
+#include "chunking/segmenter.h"
 #include "common/check.h"
+#include "common/fingerprint.h"
 
 namespace defrag::workload {
 

@@ -1,0 +1,107 @@
+// Regression tests for the debug lock-order validator (common/lock_order.h,
+// enforced by Mutex in common/sync.h): acquiring two ranked locks against
+// the declared hierarchy must trip a CheckFailure, ascending acquisition
+// must not. The validator is runtime-toggled (release builds default off),
+// so each test forces it on and restores the previous state.
+#include "common/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/sync.h"
+
+namespace defrag {
+namespace {
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_ = lock_order::enabled();
+    lock_order::set_enabled(true);
+  }
+  void TearDown() override { lock_order::set_enabled(prev_); }
+
+  bool prev_ = false;
+};
+
+TEST_F(LockOrderTest, AscendingAcquisitionPasses) {
+  Mutex store_mu(lock_order::kContainerStore);  // level 10
+  Mutex shard_mu(lock_order::kIndexShard);      // level 20
+  {
+    MutexLock outer(store_mu);
+    EXPECT_EQ(lock_order::held_count(), 1u);
+    MutexLock inner(shard_mu);
+    EXPECT_EQ(lock_order::held_count(), 2u);
+  }
+  EXPECT_EQ(lock_order::held_count(), 0u);
+}
+
+TEST_F(LockOrderTest, InvertedAcquisitionTrips) {
+  Mutex store_mu(lock_order::kContainerStore);  // level 10
+  Mutex shard_mu(lock_order::kIndexShard);      // level 20
+  MutexLock inner(shard_mu);
+  // container_store(10) must never be taken under index_shard(20).
+  EXPECT_THROW(store_mu.lock(), CheckFailure);
+  EXPECT_EQ(lock_order::held_count(), 1u);  // failed acquire left no entry
+}
+
+TEST_F(LockOrderTest, SameRankNestingTrips) {
+  // Two locks of the same rank may never nest (no order is defined
+  // between them — e.g. two index shards).
+  Mutex a(lock_order::kIndexShard);
+  Mutex b(lock_order::kIndexShard);
+  MutexLock first(a);
+  EXPECT_THROW(b.lock(), CheckFailure);
+}
+
+TEST_F(LockOrderTest, RecursiveAcquisitionTrips) {
+  Mutex mu(lock_order::kMetricsRegistry);
+  MutexLock lock(mu);
+  EXPECT_THROW(mu.lock(), CheckFailure);
+}
+
+TEST_F(LockOrderTest, TryLockHonorsTheHierarchy) {
+  Mutex store_mu(lock_order::kContainerStore);
+  Mutex shard_mu(lock_order::kIndexShard);
+  MutexLock inner(shard_mu);
+  EXPECT_THROW((void)store_mu.try_lock(), CheckFailure);
+}
+
+TEST_F(LockOrderTest, UnrankedMutexesAreNotTracked) {
+  // Default-constructed Mutexes opt out of the validator (rank level -1);
+  // they may nest freely but get no protection.
+  Mutex a;
+  Mutex b;
+  MutexLock outer(a);
+  MutexLock inner(b);
+  EXPECT_EQ(lock_order::held_count(), 0u);
+}
+
+TEST_F(LockOrderTest, DisabledValidatorIgnoresInversions) {
+  lock_order::set_enabled(false);
+  Mutex store_mu(lock_order::kContainerStore);
+  Mutex shard_mu(lock_order::kIndexShard);
+  MutexLock inner(shard_mu);
+  EXPECT_NO_THROW({
+    store_mu.lock();
+    store_mu.unlock();
+  });
+}
+
+TEST_F(LockOrderTest, ValidatorRecoversAfterFailure) {
+  // A tripped check must not corrupt the per-thread stack: after the
+  // offending scope unwinds, correct-order acquisition works again.
+  Mutex store_mu(lock_order::kContainerStore);
+  Mutex shard_mu(lock_order::kIndexShard);
+  {
+    MutexLock inner(shard_mu);
+    EXPECT_THROW(store_mu.lock(), CheckFailure);
+  }
+  EXPECT_EQ(lock_order::held_count(), 0u);
+  MutexLock outer(store_mu);
+  MutexLock inner(shard_mu);
+  EXPECT_EQ(lock_order::held_count(), 2u);
+}
+
+}  // namespace
+}  // namespace defrag

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "obs/metrics.h"
 #include "testing/data.h"
 
 namespace defrag {
@@ -103,6 +104,32 @@ TEST(ParallelIngestTest, PipelinedWorkersGiveIdenticalTotals) {
   EXPECT_EQ(sync_res.unique_bytes, piped_res.unique_bytes);
   EXPECT_EQ(sync_res.chunk_count, piped_res.chunk_count);
   EXPECT_EQ(sync_ingestor.index().size(), piped_ingestor.index().size());
+}
+
+// kPending accounting: every duplicate resolved against an in-flight claim
+// is charged a published-location lookup post-join, and the
+// `dedup.parallel.pending_resolved` counter advances by exactly the number
+// of pending duplicates the streams reported. Identical concurrent streams
+// are the scenario that provokes kPending races; the invariant must hold
+// whether a given run hit the race or not.
+TEST(ParallelIngestTest, PendingDuplicatesAreResolvedAndCharged) {
+  const Bytes data = testing::random_bytes(1 << 20, 506);
+  auto& pending_counter =
+      obs::MetricsRegistry::global().counter("dedup.parallel.pending_resolved");
+  for (int run = 0; run < 5; ++run) {
+    ParallelIngestor ingestor;
+    const std::uint64_t before = pending_counter.value();
+    const ParallelIngestResult res =
+        ingestor.ingest({ByteView(data), ByteView(data), ByteView(data)});
+    std::uint64_t pending = 0;
+    for (const StreamIngestStats& st : res.streams) {
+      EXPECT_LE(st.pending_dup_chunks, st.dup_chunks);
+      pending += st.pending_dup_chunks;
+    }
+    EXPECT_EQ(pending_counter.value() - before, pending) << "run " << run;
+    // Post-join resolution published every claim.
+    EXPECT_EQ(ingestor.index().pending_claims(), 0u);
+  }
 }
 
 TEST(ParallelIngestTest, PerStreamStatsAddUp) {

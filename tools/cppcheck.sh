@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# cppcheck static-analysis gate over src/ (library code only; tests, bench
+# and tools follow looser rules and are covered by compiler warnings).
+#
+#   tools/cppcheck.sh             check; exit 1 on findings
+#   DEFRAG_CPPCHECK_REQUIRED=1 tools/cppcheck.sh
+#                                 fail (exit 1) when cppcheck is missing
+#
+# When cppcheck is not installed (the default dev container ships only GCC)
+# the check SKIPS with exit 0 so local ctest stays green; the CI lint job
+# installs cppcheck and sets DEFRAG_CPPCHECK_REQUIRED=1 to enforce it.
+# Curated false positives live in tools/cppcheck_suppressions.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CPPCHECK="${CPPCHECK:-}"
+if [ -z "$CPPCHECK" ] && command -v cppcheck >/dev/null 2>&1; then
+  CPPCHECK=cppcheck
+fi
+if [ -z "$CPPCHECK" ]; then
+  if [ "${DEFRAG_CPPCHECK_REQUIRED:-0}" = "1" ]; then
+    echo "cppcheck: required but not found in PATH" >&2
+    exit 1
+  fi
+  echo "cppcheck: not found; skipping (CI enforces this)" >&2
+  exit 0
+fi
+
+"$CPPCHECK" \
+  --enable=warning,performance,portability \
+  --std=c++20 \
+  --language=c++ \
+  --inline-suppr \
+  --suppressions-list=tools/cppcheck_suppressions.txt \
+  --error-exitcode=1 \
+  --quiet \
+  -I src \
+  src
+echo "cppcheck: src/ clean"

@@ -22,8 +22,13 @@ Enforces conventions clang-tidy cannot express:
   cmake-naming    library targets in src/ are named defrag_<dir>, and
                   ctest names registered via add_test() are [a-z0-9_]+
 
+  stale-waiver    every `defrag-lint: allow=` comment must still suppress
+                  a live finding; waivers that no longer fire are dead
+                  weight and must be deleted (prevents silent rot)
+
 Waivers: a finding on line N is suppressed when line N or N-1 contains
 `defrag-lint: allow=<check-name>` with a justification in the comment.
+Stale-waiver findings themselves cannot be waived.
 
 Exit codes: 0 clean, 1 findings, 2 usage/internal error.
 
@@ -113,16 +118,28 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
+CHECK_NAMES = ("metric-docs", "header-pragma", "header-iwyu", "raw-new",
+               "rand", "cout", "catch-all", "cmake-naming", "stale-waiver")
+
+WAIVER_RE = re.compile(r"defrag-lint:\s*allow=([a-z-]+)")
+
+
 class Linter:
     def __init__(self):
         self.findings = []
+        # (resolved path, 1-based line) of waiver comments that suppressed
+        # at least one finding this run; everything else is stale.
+        self.used_waivers = set()
 
     def report(self, check, path, lineno, message, lines=None):
         """Record a finding unless waived on this or the previous line."""
         if lines is not None and lineno >= 1:
             window = lines[max(0, lineno - 2):lineno]  # lines N-1 and N
-            if any(f"defrag-lint: allow={check}" in ln for ln in window):
-                return
+            base = max(0, lineno - 2)
+            for off, ln in enumerate(window):
+                if f"defrag-lint: allow={check}" in ln:
+                    self.used_waivers.add((str(path), base + off + 1))
+                    return
         rel = path.relative_to(REPO) if isinstance(path, Path) else path
         self.findings.append(f"{rel}:{lineno}: [{check}] {message}")
 
@@ -288,11 +305,42 @@ class Linter:
                                 f"test name '{m.group(1)}' must be "
                                 "[a-z0-9_]+", lines)
 
+    # ---- waiver hygiene ---------------------------------------------------
+
+    def check_stale_waivers(self):
+        """Every waiver comment must have suppressed a finding this run.
+
+        Runs after all other checks (it consults used_waivers). Stale
+        waivers are reported unwaivably: the fix is deleting the comment.
+        """
+        known = set(CHECK_NAMES) - {"stale-waiver"}
+        scan = list(cpp_files())
+        scan += [p for p in sorted(REPO.rglob("CMakeLists.txt"))
+                 if "build" not in p.parts
+                 and REPO / "related" not in p.parents]
+        for path in scan:
+            text = path.read_text(encoding="utf-8")
+            for i, ln in enumerate(text.splitlines(), start=1):
+                m = WAIVER_RE.search(ln)
+                if not m:
+                    continue
+                check = m.group(1)
+                if check not in known:
+                    self.findings.append(
+                        f"{path.relative_to(REPO)}:{i}: [stale-waiver] "
+                        f"waiver names unknown check '{check}'")
+                elif (str(path), i) not in self.used_waivers:
+                    self.findings.append(
+                        f"{path.relative_to(REPO)}:{i}: [stale-waiver] "
+                        f"waiver for '{check}' no longer suppresses any "
+                        "finding; delete it")
+
     def run(self):
         self.check_metric_docs()
         self.check_headers()
         self.check_banned()
         self.check_cmake()
+        self.check_stale_waivers()
         return self.findings
 
 
@@ -304,8 +352,7 @@ def main():
                     help="print check names and exit")
     args = ap.parse_args()
     if args.list_checks:
-        print("metric-docs header-pragma header-iwyu raw-new rand cout "
-              "catch-all cmake-naming")
+        print(" ".join(CHECK_NAMES))
         return 0
     findings = Linter().run()
     for f in findings:
