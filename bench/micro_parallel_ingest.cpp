@@ -68,7 +68,7 @@ int run() {
   std::printf("  %-8s %10s %10s %9s\n", "streams", "wall_s", "MB/s",
               "speedup");
   double base_mb_s = 0.0;
-  for (const std::size_t w : {1, 2, 4, 8}) {
+  for (const std::size_t w : {1u, 2u, 4u, 8u}) {
     ParallelIngestor ingestor;  // fresh store+index per W
     std::vector<ByteView> streams;
     const std::size_t slice = total_bytes / w;
@@ -106,7 +106,7 @@ int run() {
                 wall, "-", "-", "-", "-", chunks.size());
     reg.gauge("system.bench.pipeline.wall_s_sync").set(wall);
   }
-  for (const std::size_t w : {1, 2, 4}) {
+  for (const std::size_t w : {1u, 2u, 4u}) {
     StreamPipeline pipeline(*chunker, w);
     PipelineStats st;
     pipeline.run(view, &st);

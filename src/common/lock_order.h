@@ -14,6 +14,12 @@
 // rationale; tools/lock_graph_lint.py parses THIS file, so keep the
 // `inline constexpr Rank` declarations one-per-line):
 //
+//   service_scheduler(2)  service::SessionScheduler::mu_ — admission
+//                         state (active session counts, drain flag); the
+//                         outermost lock of the daemon's control plane
+//   service_tenants (5)   service::TenantCatalog::mu_ — tenant map +
+//                         per-tenant backup catalogs (commit/list/fetch
+//                         may register tenant metrics: 5 < 30)
 //   container_store (10)  ContainerStore::mu_ — container table + roll
 //   index_shard     (20)  ShardedPagedIndex::Shard::mu — one stripe each
 //   metrics_registry(30)  MetricsRegistry::mu_ — name->slot map
@@ -51,6 +57,8 @@ struct Rank {
 inline constexpr Rank kUnranked{"unranked", -1};
 
 // The canonical hierarchy (keep levels strictly increasing top to bottom).
+inline constexpr Rank kServiceScheduler{"service_scheduler", 2};
+inline constexpr Rank kServiceTenants{"service_tenants", 5};
 inline constexpr Rank kContainerStore{"container_store", 10};
 inline constexpr Rank kIndexShard{"index_shard", 20};
 inline constexpr Rank kMetricsRegistry{"metrics_registry", 30};

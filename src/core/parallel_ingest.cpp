@@ -1,9 +1,10 @@
 #include "core/parallel_ingest.h"
 
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <optional>
-#include <utility>
+#include <thread>
 
 #include "chunking/chunker.h"
 #include "chunking/segmenter.h"
@@ -19,6 +20,7 @@
 #include "storage/container.h"
 #include "storage/container_store.h"
 #include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 
@@ -28,6 +30,41 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// Abandons a held claim on unwind so kPending waiters never spin on a
+/// claim whose append threw; dismissed on the publish that normally
+/// follows the append immediately.
+class ClaimGuard {
+ public:
+  ClaimGuard(ShardedPagedIndex& index, const Fingerprint& fp)
+      : index_(index), fp_(fp) {}
+  ~ClaimGuard() {
+    if (armed_) index_.abandon_claim(fp_);
+  }
+  ClaimGuard(const ClaimGuard&) = delete;
+  ClaimGuard& operator=(const ClaimGuard&) = delete;
+  void dismiss() { armed_ = false; }
+
+ private:
+  ShardedPagedIndex& index_;
+  const Fingerprint& fp_;
+  bool armed_ = true;
+};
+
+/// A duplicate whose location was unknown when its chunk was processed
+/// (the claimant had not published yet). `entry` is its slot in the
+/// stream-ordered recipe entry list (SIZE_MAX when no recipe is built).
+struct PendingDup {
+  Fingerprint fp;
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+  std::size_t entry = SIZE_MAX;
+};
+
+/// How long a stream end waits for another stream's in-flight claim before
+/// declaring the process wedged. Claims publish microseconds after they
+/// are observed pending; this bound only trips on a genuine liveness bug.
+constexpr auto kPendingWaitLimit = std::chrono::seconds(120);
 
 }  // namespace
 
@@ -41,14 +78,14 @@ ParallelIngestor::ParallelIngestor(const ParallelIngestParams& params)
       index_(params.index_shards, params.index),
       store_(params.container_bytes, params.compress_containers) {}
 
-StreamIngestStats ParallelIngestor::ingest_one(
-    std::size_t stream_id, ByteView stream, DiskSim& sim,
-    std::vector<Fingerprint>& pending) {
+StreamIngestStats ParallelIngestor::ingest_stream(ByteView stream,
+                                                  Recipe* recipe) {
   const obs::TraceSpan span("parallel_ingest.stream", "ingest");
   const auto wall_start = std::chrono::steady_clock::now();
+  DiskSim sim(params_.disk);
 
   StreamIngestStats st;
-  st.stream = stream_id;
+  st.stream = next_stream_id_.fetch_add(1, std::memory_order_relaxed);
   st.logical_bytes = stream.size();
 
   // Chunk + fingerprint. With pipeline workers the stream gets its own SPSC
@@ -70,95 +107,160 @@ StreamIngestStats ParallelIngestor::ingest_one(
   // Chunking + fingerprinting CPU, charged like the serial engines.
   sim.compute(static_cast<double>(stream.size()) / 1e6 / params_.cpu_mb_per_s);
 
+  // Stream-ordered locations; pending duplicates get theirs at resolution.
+  std::vector<RecipeEntry> entries;
+  if (recipe != nullptr) entries.resize(chunks.size());
+  std::vector<PendingDup> pending;
+
   ContainerStore::StreamAppender appender = store_.open_stream();
-  for (const StreamChunk& c : chunks) {
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const StreamChunk& c = chunks[i];
     const ByteView data = stream.subspan(c.stream_offset, c.size);
+    ChunkLocation loc;
     const ShardedPagedIndex::ClaimResult claim =
         index_.lookup_or_claim(c.fp, sim);
     switch (claim.state) {
       case ShardedPagedIndex::ClaimState::kClaimed: {
-        const ChunkLocation loc =
-            appender.append(c.fp, data, kInvalidSegment, sim);
+        ClaimGuard guard(index_, c.fp);
+        loc = appender.append(c.fp, data, kInvalidSegment, sim);
         index_.publish(c.fp, IndexValue{loc, kInvalidSegment}, sim);
+        guard.dismiss();
         ++st.unique_chunks;
         st.unique_bytes += c.size;
         break;
       }
       case ShardedPagedIndex::ClaimState::kPending:
         // The claimant has not published yet; queue the fingerprint and
-        // charge the published-location lookup post-join (see ingest()).
+        // resolve (and charge) its published-location lookup at stream end.
         ++st.pending_dup_chunks;
-        pending.push_back(c.fp);
-        [[fallthrough]];
+        pending.push_back(PendingDup{c.fp, c.stream_offset, c.size,
+                                     recipe != nullptr ? i : SIZE_MAX});
+        ++st.dup_chunks;
+        st.dup_bytes += c.size;
+        break;
       case ShardedPagedIndex::ClaimState::kExisting:
+        loc = claim.value.location;
         ++st.dup_chunks;
         st.dup_bytes += c.size;
         break;
     }
+    if (recipe != nullptr) entries[i] = RecipeEntry{c.fp, loc};
+  }
+
+  // Resolve pending duplicates: wait for each claimant's publish (it lands
+  // chunk-by-chunk, not at the claimant's stream end) and pay the
+  // published-location lookup this stream skipped inline. If the claimant
+  // abandoned (unwound before publishing), contend for the re-issued
+  // claim and store the chunk from this stream's own data.
+  std::uint64_t charged = 0;
+  const auto wait_start = std::chrono::steady_clock::now();
+  for (const PendingDup& p : pending) {
+    std::optional<ChunkLocation> loc;
+    while (!loc.has_value()) {
+      if (const std::optional<IndexValue> hit = index_.peek(p.fp)) {
+        index_.lookup(p.fp, sim);  // the charged lookup this dup skipped
+        ++charged;
+        loc = hit->location;
+        break;
+      }
+      if (!index_.claim_pending(p.fp)) {
+        // Claim abandoned (or published in between; the claim call below
+        // re-tests). lookup_or_claim charges like the lookup either way.
+        const ShardedPagedIndex::ClaimResult retry =
+            index_.lookup_or_claim(p.fp, sim);
+        ++charged;
+        if (retry.state == ShardedPagedIndex::ClaimState::kExisting) {
+          loc = retry.value.location;
+          break;
+        }
+        if (retry.state == ShardedPagedIndex::ClaimState::kClaimed) {
+          ClaimGuard guard(index_, p.fp);
+          const ByteView data = stream.subspan(p.offset, p.size);
+          const ChunkLocation stored =
+              appender.append(p.fp, data, kInvalidSegment, sim);
+          index_.publish(p.fp, IndexValue{stored, kInvalidSegment}, sim);
+          guard.dismiss();
+          // This chunk is unique after all — the original claimant never
+          // stored it.
+          ++st.unique_chunks;
+          st.unique_bytes += p.size;
+          --st.dup_chunks;
+          st.dup_bytes -= p.size;
+          --st.pending_dup_chunks;
+          --charged;  // that was an append, not a dup-location lookup
+          loc = stored;
+          break;
+        }
+        // kPending again: another waiter re-claimed; keep waiting for its
+        // publish (undo the speculative charge — the loop pays on success).
+        --charged;
+      }
+      DEFRAG_CHECK_MSG(
+          std::chrono::steady_clock::now() - wait_start < kPendingWaitLimit,
+          "pending duplicate's claimant neither published nor abandoned");
+      std::this_thread::yield();
+    }
+    if (recipe != nullptr && p.entry != SIZE_MAX) {
+      entries[p.entry].location = *loc;
+    }
   }
   appender.close();
+  DEFRAG_CHECK_MSG(charged == st.pending_dup_chunks,
+                   "charged published-location lookups != resolved "
+                   "pending duplicates");
 
+  if (recipe != nullptr) {
+    for (const RecipeEntry& e : entries) {
+      DEFRAG_CHECK_MSG(e.location.valid(),
+                       "recipe entry without a resolved location");
+      recipe->add(e.fp, e.location);
+    }
+  }
+
+  st.io = sim.stats();
+  st.sim_seconds = sim.elapsed_seconds();
   st.wall_seconds = seconds_since(wall_start);
   return st;
 }
 
 ParallelIngestResult ParallelIngestor::ingest(
-    const std::vector<ByteView>& streams) {
+    const std::vector<ByteView>& streams, std::vector<Recipe>* recipes) {
   const obs::TraceSpan span("parallel_ingest", "ingest");
   const auto wall_start = std::chrono::steady_clock::now();
 
   ParallelIngestResult res;
   res.streams.resize(streams.size());
-  std::vector<DiskSim> sims(streams.size(), DiskSim(params_.disk));
-  std::vector<std::vector<Fingerprint>> pending(streams.size());
+  if (recipes != nullptr) {
+    recipes->clear();
+    recipes->resize(streams.size());
+  }
   if (!streams.empty()) {
     ThreadPool pool(streams.size());
     std::vector<std::future<StreamIngestStats>> futures;
     futures.reserve(streams.size());
     for (std::size_t i = 0; i < streams.size(); ++i) {
-      futures.push_back(pool.submit([this, i, view = streams[i], &sims,
-                                     &pending] {
-        return ingest_one(i, view, sims[i], pending[i]);
+      Recipe* recipe = recipes != nullptr ? &(*recipes)[i] : nullptr;
+      futures.push_back(pool.submit([this, view = streams[i], recipe] {
+        return ingest_stream(view, recipe);
       }));
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {
       res.streams[i] = futures[i].get();
+      // Report under the wave-stable position, not the ingestor-lifetime
+      // stream id (batch callers label rows by position).
+      res.streams[i].stream = i;
     }
   }
-
-  // Post-join: every claim has been published (the claimant's stream loop
-  // finished), so kPending duplicates can now pay the published-location
-  // lookup they skipped inline — charged to the owning stream's sim, as a
-  // serial ingest of that stream would have paid it.
-  std::uint64_t resolved = 0;
-  std::uint64_t charged = 0;
-  for (std::size_t i = 0; i < streams.size(); ++i) {
-    for (const Fingerprint& fp : pending[i]) {
-      const std::optional<IndexValue> hit = index_.lookup(fp, sims[i]);
-      DEFRAG_CHECK_MSG(hit.has_value(),
-                       "pending duplicate has no published location "
-                       "after all streams joined");
-      ++charged;
-    }
-    resolved += pending[i].size();
-    StreamIngestStats& st = res.streams[i];
-    DEFRAG_CHECK_MSG(pending[i].size() == st.pending_dup_chunks,
-                     "pending fingerprint queue disagrees with "
-                     "pending_dup_chunks");
-    st.io = sims[i].stats();
-    st.sim_seconds = sims[i].elapsed_seconds();
-  }
-  DEFRAG_CHECK_MSG(charged == resolved,
-                   "charged published-location lookups != resolved "
-                   "pending duplicates");
   res.wall_seconds = seconds_since(wall_start);
 
+  std::uint64_t resolved = 0;
   auto& reg = obs::MetricsRegistry::global();
   for (const StreamIngestStats& st : res.streams) {
     res.logical_bytes += st.logical_bytes;
     res.chunk_count += st.chunk_count;
     res.unique_bytes += st.unique_bytes;
     res.dup_bytes += st.dup_bytes;
+    resolved += st.pending_dup_chunks;
     reg.histogram("dedup.parallel.stream_wall_us")
         .observe(st.wall_seconds * 1e6);
   }
@@ -171,7 +273,8 @@ ParallelIngestResult ParallelIngestor::ingest(
   reg.counter("dedup.parallel.pending_resolved").add(resolved);
   reg.gauge("dedup.parallel.last_throughput_mb_s").set(res.throughput_mb_s());
 
-  // Every claim must have been published before the streams joined.
+  // Every claim must have been published (or abandoned and re-resolved)
+  // before the streams joined.
   DEFRAG_CHECK_MSG(index_.pending_claims() == 0,
                    "stream finished with unpublished claims");
   return res;

@@ -1,12 +1,12 @@
 // Parallel ingest fast path: N backup streams deduplicated concurrently
 // against one shared store.
 //
-// Each stream runs on its own thread with its own DiskSim (streams model
-// independent backup clients; simulated time is per-stream, wall-clock
-// speedup is what multi-streaming buys). The shared metadata path is the
-// lock-striped ShardedPagedIndex; the shared data path is the
-// ContainerStore's StreamAppender, which gives every stream a private open
-// container so placement stays sequential *per stream*.
+// Each stream runs with its own DiskSim (streams model independent backup
+// clients; simulated time is per-stream, wall-clock speedup is what
+// multi-streaming buys). The shared metadata path is the lock-striped
+// ShardedPagedIndex; the shared data path is the ContainerStore's
+// StreamAppender, which gives every stream a private open container so
+// placement stays sequential *per stream*.
 //
 // Dedup across concurrent streams uses the index's claim/publish protocol:
 // a chunk's first claimant appends and publishes it; every other stream
@@ -14,20 +14,29 @@
 // one stream wins any fingerprint, so total unique bytes is deterministic
 // under any interleaving. A kPending duplicate cannot pay the published-
 // location lookup inline (the claimant has not published yet, and blocking
-// on it would serialize the streams), so its fingerprint is queued and the
-// lookup is charged to the owning stream's DiskSim after all streams have
-// joined — every claim is published by then (checked), so recipe-grade
+// on it would serialize the streams), so its fingerprint is queued; at
+// stream end the stream waits for each queued claim's publish (claims are
+// published chunk-by-chunk, microseconds after they are observed pending)
+// and then pays the published-location lookup it skipped — so recipe-grade
 // location metadata is available for every duplicate and the charged
-// lookup count exactly equals the resolved-duplicate count (checked).
+// lookup count exactly equals the resolved-duplicate count (checked). If a
+// claimant unwinds without publishing, its claim is abandoned and exactly
+// one waiter re-claims and stores the chunk itself, so waiters never hang
+// on a dead claim.
 //
-// This is an ingest-only fast path: it produces store + index state and
-// throughput numbers, not per-generation recipes (restore experiments stay
-// on the serial engines).
-//
-// Thread safety: ingest() is a blocking call, safe from one thread at a
-// time per ingestor; it spawns and joins all stream workers internally.
+// Two entry points:
+//  - ingest(streams): the one-shot batch API — spawns one thread per
+//    stream, joins them all, returns aggregate stats. Single caller at a
+//    time per ingestor.
+//  - ingest_stream(stream, recipe): the service API — safe to call from
+//    many threads concurrently (the defrag-serve session scheduler calls
+//    it directly from session threads, see src/service/). With a non-null
+//    `recipe` it records one entry per chunk in stream order with a
+//    published location for every duplicate, making the stream
+//    restore-grade via dedup/restore_strategies.h.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -40,6 +49,7 @@
 #include "index/sharded_index.h"
 #include "storage/container_store.h"
 #include "storage/disk_model.h"
+#include "storage/recipe.h"
 
 namespace defrag {
 
@@ -61,7 +71,7 @@ struct ParallelIngestParams {
   double cpu_mb_per_s = 220.0;
 };
 
-/// Per-stream outcome of one ingest() call.
+/// Per-stream outcome of one ingest() / ingest_stream() call.
 struct StreamIngestStats {
   std::size_t stream = 0;
   std::uint64_t logical_bytes = 0;
@@ -72,7 +82,7 @@ struct StreamIngestStats {
   std::uint64_t dup_bytes = 0;
   /// Duplicates resolved against another stream's in-flight claim
   /// (kPending) rather than a published entry. Their published-location
-  /// lookups are charged to this stream's sim post-join, so `io` and
+  /// lookups are charged to this stream's sim at stream end, so `io` and
   /// `sim_seconds` include them.
   std::uint64_t pending_dup_chunks = 0;
   IoStats io;
@@ -98,25 +108,36 @@ class ParallelIngestor {
   explicit ParallelIngestor(const ParallelIngestParams& params = {});
 
   /// Ingest all streams concurrently (one thread per stream). Blocks until
-  /// every stream finished; rethrows the first stream failure.
-  ParallelIngestResult ingest(const std::vector<ByteView>& streams);
+  /// every stream finished; rethrows the first stream failure. One caller
+  /// at a time per ingestor (it owns the worker pool for the call); use
+  /// ingest_stream() for externally threaded callers. With a non-null
+  /// `recipes` the vector is resized to streams.size() and recipes[i]
+  /// receives stream i's restore-grade recipe.
+  ParallelIngestResult ingest(const std::vector<ByteView>& streams,
+                              std::vector<Recipe>* recipes = nullptr);
+
+  /// Ingest one stream on the calling thread. Thread-safe: any number of
+  /// threads may run ingest_stream() concurrently on the same ingestor —
+  /// this is the long-running service entry point, where sessions arrive
+  /// at arbitrary times instead of in synchronized waves. When `recipe` is
+  /// non-null it receives one entry per chunk (stream order, published
+  /// locations), so the caller can restore the stream bit-identically with
+  /// restore_with_strategy(); the stream's own containers are sealed
+  /// before the call returns.
+  StreamIngestStats ingest_stream(ByteView stream, Recipe* recipe = nullptr);
 
   const ShardedPagedIndex& index() const { return index_; }
   const ContainerStore& store() const { return store_; }
+  const ParallelIngestParams& params() const { return params_; }
 
  private:
-  /// One stream's ingest loop. `sim` and `pending` outlive the call: the
-  /// caller charges the post-join published-location lookups for the
-  /// fingerprints left in `pending` to the same sim, then snapshots it
-  /// into the stream's stats.
-  StreamIngestStats ingest_one(std::size_t stream_id, ByteView stream,
-                               DiskSim& sim,
-                               std::vector<Fingerprint>& pending);
-
   ParallelIngestParams params_;
   std::unique_ptr<Chunker> chunker_;
   ShardedPagedIndex index_;
   ContainerStore store_;
+  /// Stream ids for stats attribution; monotonically increasing across the
+  /// ingestor's lifetime (service sessions interleave arbitrarily).
+  std::atomic<std::size_t> next_stream_id_{0};
 };
 
 }  // namespace defrag

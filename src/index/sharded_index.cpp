@@ -100,6 +100,19 @@ void ShardedPagedIndex::publish(const Fingerprint& fp, const IndexValue& value,
   s.index.insert(fp, value, sim);
 }
 
+bool ShardedPagedIndex::claim_pending(const Fingerprint& fp) const {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  return s.claims.contains(fp);
+}
+
+void ShardedPagedIndex::abandon_claim(const Fingerprint& fp) {
+  Shard& s = shard_of(fp);
+  MutexLock lock(s.mu);
+  DEFRAG_CHECK_MSG(s.claims.erase(fp) == 1,
+                   "abandon of a fingerprint that was never claimed");
+}
+
 bool ShardedPagedIndex::contains(const Fingerprint& fp) const {
   Shard& s = shard_of(fp);
   MutexLock lock(s.mu);

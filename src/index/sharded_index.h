@@ -90,7 +90,19 @@ class ShardedPagedIndex {
   /// insert. It is a checked error to publish without holding the claim.
   void publish(const Fingerprint& fp, const IndexValue& value, DiskSim& sim);
 
+  /// Release a claim without publishing (exception unwind in the claimant:
+  /// the append never happened). Streams that saw kPending for `fp` and are
+  /// waiting for a published location must re-run lookup_or_claim() — one
+  /// of them wins the re-issued claim and stores the chunk itself. It is a
+  /// checked error to abandon a claim the caller does not hold.
+  void abandon_claim(const Fingerprint& fp);
+
   bool contains(const Fingerprint& fp) const;
+
+  /// Whether `fp` is currently claimed but not yet published. A waiter
+  /// spinning for a publish uses this (with peek()) to detect an abandoned
+  /// claim without paying a charged lookup per probe.
+  bool claim_pending(const Fingerprint& fp) const;
 
   std::size_t shard_count() const { return shards_.size(); }
 

@@ -89,14 +89,26 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  merge_from(other, std::string_view{});
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other,
+                                 std::string_view prefix) {
   // Copy the other side under its lock, then fold under ours (avoids lock
   // ordering issues; merge is a cold reduction path). mu_ stays held across
   // the whole fold: histogram state is not atomic, so concurrent
   // merge_from() calls into the same target must serialize.
   const MetricsSnapshot theirs = other.snapshot();
   MutexLock lock(mu_);
+  std::string scoped;
   for (const MetricEntry& e : theirs.entries) {
-    Slot& slot = slot_for_locked(e.name, e.kind);
+    std::string_view target = e.name;
+    if (!prefix.empty()) {
+      scoped.assign(prefix);
+      scoped.append(e.name);
+      target = scoped;
+    }
+    Slot& slot = slot_for_locked(target, e.kind);
     switch (e.kind) {
       case MetricKind::kCounter:
         slot.counter->v_.fetch_add(e.counter, std::memory_order_relaxed);

@@ -147,6 +147,14 @@ class MetricsRegistry {
   /// internally. Kind mismatches throw CheckFailure.
   void merge_from(const MetricsRegistry& other);
 
+  /// Scoped fold: like merge_from(other), but every source name lands under
+  /// `prefix` + name in this registry. This is how per-session / per-tenant
+  /// registries are published into the global one without name collisions
+  /// ("bytes_logical" in a session scope becomes
+  /// "service.tenant.alice.bytes_logical" globally). `prefix` must itself be
+  /// a valid metric-name fragment (checked via the combined name).
+  void merge_from(const MetricsRegistry& other, std::string_view prefix);
+
   /// Zero every value; registrations (and cached handles) survive.
   void reset();
 

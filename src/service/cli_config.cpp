@@ -1,0 +1,78 @@
+#include "service/cli_config.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "dedup/engine.h"
+#include "workload/fs_model.h"
+
+namespace defrag::cli {
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = options.find(name);
+  return it == options.end() ? fallback : it->second;
+}
+
+std::uint64_t Args::get_u64(const std::string& name,
+                            std::uint64_t fallback) const {
+  const auto it = options.find(name);
+  return it == options.end() ? fallback : std::stoull(it->second);
+}
+
+std::uint32_t Args::get_u32(const std::string& name,
+                            std::uint32_t fallback) const {
+  const auto it = options.find(name);
+  return it == options.end() ? fallback
+                             : static_cast<std::uint32_t>(std::stoul(it->second));
+}
+
+std::size_t Args::get_size(const std::string& name,
+                           std::size_t fallback) const {
+  const auto it = options.find(name);
+  return it == options.end() ? fallback
+                             : static_cast<std::size_t>(std::stoull(it->second));
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = options.find(name);
+  return it == options.end() ? fallback : std::stod(it->second);
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) return std::nullopt;
+    token = token.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[token] = argv[++i];
+    } else {
+      args.options[token] = "";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::optional<EngineKind> engine_by_name(const std::string& name) {
+  if (name == "ddfs") return EngineKind::kDdfs;
+  if (name == "silo") return EngineKind::kSilo;
+  if (name == "sparse") return EngineKind::kSparse;
+  if (name == "defrag") return EngineKind::kDefrag;
+  if (name == "cbr") return EngineKind::kCbr;
+  return std::nullopt;
+}
+
+workload::FsParams fs_from(const Args& args) {
+  workload::FsParams fs;
+  fs.initial_files = args.get_u32("files", 48);
+  fs.mean_file_bytes = args.get_u64("file-bytes", 262144);
+  return fs;
+}
+
+}  // namespace defrag::cli

@@ -1,0 +1,105 @@
+#include "service/client.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+#include "service/wire.h"
+
+namespace defrag::service {
+
+namespace {
+
+/// BACKUP_DATA framing granularity (well under kMaxFramePayload).
+constexpr std::uint64_t kBackupDataChunk = 4ull << 20;
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, const std::string& tenant)
+    : conn_(connect_unix(socket_path)), tenant_(tenant) {
+  HelloRequest hello;
+  hello.tenant = tenant_;
+  conn_.send_frame(encode(hello));
+  expect(FrameType::kOk);
+}
+
+Bytes Client::expect(FrameType expected) {
+  const std::optional<Bytes> payload = conn_.recv_frame();
+  if (!payload.has_value()) {
+    throw WireError("server closed the connection mid-request");
+  }
+  const FrameType type = frame_type(*payload);
+  const Bytes body = to_bytes(frame_body(*payload));
+  if (type == FrameType::kRejected) throw RejectedError(parse_reason(body));
+  if (type == FrameType::kError) throw RemoteError(parse_reason(body));
+  if (type != expected) {
+    throw WireError("unexpected response " + to_string(type) + ", wanted " +
+                    to_string(expected));
+  }
+  return body;
+}
+
+BackupDoneResponse Client::backup(const std::string& label, ByteView stream) {
+  BackupBeginRequest begin;
+  begin.label = label;
+  conn_.send_frame(encode(begin));
+  expect(FrameType::kOk);
+  for (std::uint64_t off = 0; off < stream.size(); off += kBackupDataChunk) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(kBackupDataChunk, stream.size() - off);
+    conn_.send_frame(encode_backup_data(stream.subspan(off, n)));
+  }
+  conn_.send_frame(encode_empty(FrameType::kBackupEnd));
+  return parse_backup_done(expect(FrameType::kBackupDone));
+}
+
+Bytes Client::restore(std::uint32_t backup_id, RestoreDoneResponse* done) {
+  RestoreRequest req;
+  req.backup_id = backup_id;
+  conn_.send_frame(encode(req));
+  Bytes out;
+  for (;;) {
+    const std::optional<Bytes> payload = conn_.recv_frame();
+    if (!payload.has_value()) {
+      throw WireError("server closed the connection mid-restore");
+    }
+    const FrameType type = frame_type(*payload);
+    const ByteView body = frame_body(*payload);
+    if (type == FrameType::kRestoreData) {
+      out.insert(out.end(), body.begin(), body.end());
+      continue;
+    }
+    if (type == FrameType::kRestoreDone) {
+      const RestoreDoneResponse resp = parse_restore_done(body);
+      if (resp.logical_bytes != out.size()) {
+        throw WireError("RESTORE_DONE size disagrees with streamed data");
+      }
+      if (done != nullptr) *done = resp;
+      return out;
+    }
+    if (type == FrameType::kError) throw RemoteError(parse_reason(body));
+    throw WireError("unexpected frame during restore: " + to_string(type));
+  }
+}
+
+BackupListResponse Client::list() {
+  conn_.send_frame(encode_empty(FrameType::kList));
+  return parse_backup_list(expect(FrameType::kBackupList));
+}
+
+std::string Client::metrics_json() {
+  conn_.send_frame(encode_empty(FrameType::kMetrics));
+  return parse_metrics_json(expect(FrameType::kMetricsJson));
+}
+
+void Client::shutdown_server() {
+  conn_.send_frame(encode_empty(FrameType::kShutdown));
+  expect(FrameType::kOk);
+}
+
+}  // namespace defrag::service

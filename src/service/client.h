@@ -1,0 +1,71 @@
+// Client side of the defrag-serve protocol: one connection, one tenant.
+//
+// Thin synchronous wrapper used by the defrag-client tool and the service
+// tests: every method sends one request and blocks for its response.
+// Server-reported failures surface as typed exceptions so callers can
+// distinguish "admission refused" (RejectedError — expected under load,
+// the probe-reject tests assert on it) from "request failed" (RemoteError)
+// and from transport problems (SocketError / WireError).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+
+namespace defrag::service {
+
+/// Server answered REJECTED (admission control / version mismatch).
+class RejectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Server answered ERROR (malformed or unservable request).
+class RemoteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  /// Connect and HELLO as `tenant`. Throws SocketError (no server),
+  /// RejectedError (admission refused) or WireError (protocol breakage).
+  Client(const std::string& socket_path, const std::string& tenant);
+  Client(Client&&) noexcept = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Full backup round trip: BEGIN / DATA frames / END -> stats.
+  BackupDoneResponse backup(const std::string& label, ByteView stream);
+
+  /// Full restore round trip; returns the restored bytes. `done` (optional)
+  /// receives the server's RESTORE_DONE stats.
+  Bytes restore(std::uint32_t backup_id, RestoreDoneResponse* done = nullptr);
+
+  BackupListResponse list();
+
+  /// The server's defrag.metrics.v1 JSON export.
+  std::string metrics_json();
+
+  /// Ask the server to drain and exit (server ACKs before draining).
+  void shutdown_server();
+
+  const std::string& tenant() const { return tenant_; }
+  /// Close the connection (also releases this session's admission slot
+  /// server-side). Implicit in the destructor.
+  void close() { conn_.close(); }
+
+ private:
+  /// Receive one frame, mapping REJECTED/ERROR to exceptions and anything
+  /// other than `expected` to WireError. Returns the frame body.
+  Bytes expect(FrameType expected);
+
+  Conn conn_;
+  std::string tenant_;
+};
+
+}  // namespace defrag::service

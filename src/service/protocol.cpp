@@ -1,0 +1,227 @@
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "service/wire.h"
+
+namespace defrag::service {
+
+namespace {
+
+bool known_type(std::uint8_t v) {
+  return (v >= 0x01 && v <= 0x08) || (v >= 0x81 && v <= 0x88);
+}
+
+Bytes with_type(FrameType t) {
+  Bytes payload;
+  WireWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(t));
+  return payload;
+}
+
+}  // namespace
+
+std::string to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kBackupBegin: return "BACKUP_BEGIN";
+    case FrameType::kBackupData: return "BACKUP_DATA";
+    case FrameType::kBackupEnd: return "BACKUP_END";
+    case FrameType::kRestore: return "RESTORE";
+    case FrameType::kList: return "LIST";
+    case FrameType::kMetrics: return "METRICS";
+    case FrameType::kShutdown: return "SHUTDOWN";
+    case FrameType::kOk: return "OK";
+    case FrameType::kRejected: return "REJECTED";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kBackupDone: return "BACKUP_DONE";
+    case FrameType::kRestoreData: return "RESTORE_DATA";
+    case FrameType::kRestoreDone: return "RESTORE_DONE";
+    case FrameType::kBackupList: return "BACKUP_LIST";
+    case FrameType::kMetricsJson: return "METRICS_JSON";
+  }
+  return "UNKNOWN";
+}
+
+FrameType frame_type(ByteView payload) {
+  if (payload.empty()) throw WireError("empty frame payload");
+  if (!known_type(payload[0])) throw WireError("unknown frame type");
+  return static_cast<FrameType>(payload[0]);
+}
+
+ByteView frame_body(ByteView payload) {
+  if (payload.empty()) throw WireError("empty frame payload");
+  return payload.subspan(1);
+}
+
+Bytes encode(const HelloRequest& m) {
+  Bytes payload = with_type(FrameType::kHello);
+  WireWriter w(payload);
+  w.u32(m.version);
+  w.str(m.tenant);
+  return payload;
+}
+
+Bytes encode(const BackupBeginRequest& m) {
+  Bytes payload = with_type(FrameType::kBackupBegin);
+  WireWriter w(payload);
+  w.str(m.label);
+  return payload;
+}
+
+Bytes encode(const RestoreRequest& m) {
+  Bytes payload = with_type(FrameType::kRestore);
+  WireWriter w(payload);
+  w.u32(m.backup_id);
+  return payload;
+}
+
+Bytes encode(const BackupDoneResponse& m) {
+  Bytes payload = with_type(FrameType::kBackupDone);
+  WireWriter w(payload);
+  w.u32(m.backup_id);
+  w.u64(m.logical_bytes);
+  w.u64(m.chunk_count);
+  w.u64(m.unique_bytes);
+  w.u64(m.dup_bytes);
+  return payload;
+}
+
+Bytes encode(const RestoreDoneResponse& m) {
+  Bytes payload = with_type(FrameType::kRestoreDone);
+  WireWriter w(payload);
+  w.u64(m.logical_bytes);
+  w.u64(m.container_loads);
+  return payload;
+}
+
+Bytes encode(const BackupListResponse& m) {
+  Bytes payload = with_type(FrameType::kBackupList);
+  WireWriter w(payload);
+  w.u32(static_cast<std::uint32_t>(m.backups.size()));
+  for (const BackupInfo& b : m.backups) {
+    w.u32(b.id);
+    w.str(b.label);
+    w.u64(b.logical_bytes);
+  }
+  return payload;
+}
+
+Bytes encode_backup_data(ByteView chunk) {
+  Bytes payload = with_type(FrameType::kBackupData);
+  WireWriter(payload).raw(chunk);
+  return payload;
+}
+
+Bytes encode_restore_data(ByteView chunk) {
+  Bytes payload = with_type(FrameType::kRestoreData);
+  WireWriter(payload).raw(chunk);
+  return payload;
+}
+
+Bytes encode_empty(FrameType t) { return with_type(t); }
+
+Bytes encode_rejected(std::string_view reason) {
+  Bytes payload = with_type(FrameType::kRejected);
+  WireWriter(payload).str(reason);
+  return payload;
+}
+
+Bytes encode_error(std::string_view reason) {
+  Bytes payload = with_type(FrameType::kError);
+  WireWriter(payload).str(reason);
+  return payload;
+}
+
+Bytes encode_metrics_json(std::string_view json) {
+  Bytes payload = with_type(FrameType::kMetricsJson);
+  WireWriter(payload).raw(ByteView(
+      reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
+  return payload;
+}
+
+HelloRequest parse_hello(ByteView body) {
+  WireReader r(body);
+  HelloRequest m;
+  m.version = r.u32();
+  m.tenant = r.str();
+  r.done();
+  if (m.tenant.empty()) throw WireError("empty tenant name");
+  return m;
+}
+
+BackupBeginRequest parse_backup_begin(ByteView body) {
+  WireReader r(body);
+  BackupBeginRequest m;
+  m.label = r.str();
+  r.done();
+  return m;
+}
+
+RestoreRequest parse_restore(ByteView body) {
+  WireReader r(body);
+  RestoreRequest m;
+  m.backup_id = r.u32();
+  r.done();
+  return m;
+}
+
+BackupDoneResponse parse_backup_done(ByteView body) {
+  WireReader r(body);
+  BackupDoneResponse m;
+  m.backup_id = r.u32();
+  m.logical_bytes = r.u64();
+  m.chunk_count = r.u64();
+  m.unique_bytes = r.u64();
+  m.dup_bytes = r.u64();
+  r.done();
+  return m;
+}
+
+RestoreDoneResponse parse_restore_done(ByteView body) {
+  WireReader r(body);
+  RestoreDoneResponse m;
+  m.logical_bytes = r.u64();
+  m.container_loads = r.u64();
+  r.done();
+  return m;
+}
+
+BackupListResponse parse_backup_list(ByteView body) {
+  WireReader r(body);
+  BackupListResponse m;
+  const std::uint32_t count = r.u32();
+  // Each entry is at least 16 bytes (id + empty-string length + bytes), so
+  // a hostile count cannot force an oversized reserve.
+  if (count > r.remaining() / 16) throw WireError("backup list count too large");
+  m.backups.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BackupInfo b;
+    b.id = r.u32();
+    b.label = r.str();
+    b.logical_bytes = r.u64();
+    m.backups.push_back(std::move(b));
+  }
+  r.done();
+  return m;
+}
+
+std::string parse_reason(ByteView body) {
+  WireReader r(body);
+  std::string reason = r.str();
+  r.done();
+  return reason;
+}
+
+std::string parse_metrics_json(ByteView body) {
+  return std::string(reinterpret_cast<const char*>(body.data()), body.size());
+}
+
+void parse_empty(ByteView body) {
+  if (!body.empty()) throw WireError("unexpected body on empty-body frame");
+}
+
+}  // namespace defrag::service

@@ -1,0 +1,129 @@
+// defrag-serve message layer: typed requests/responses over wire.h frames.
+//
+// One session speaks a strict request/response protocol. The client opens
+// with HELLO (protocol version + tenant name); the server answers OK
+// (admitted) or REJECTED (admission control: server full, tenant quota,
+// draining). After admission the client issues operations:
+//
+//   BACKUP_BEGIN label          -> OK
+//   BACKUP_DATA  bytes...       (repeat; the stream arrives in frames)
+//   BACKUP_END                  -> BACKUP_DONE id + dedup stats
+//   RESTORE      backup_id      -> RESTORE_DATA bytes... , RESTORE_DONE
+//   LIST                        -> BACKUP_LIST (this tenant's catalog only)
+//   METRICS                     -> METRICS_JSON (defrag.metrics.v1)
+//   SHUTDOWN                    -> OK (server begins drain-and-shutdown)
+//
+// Any malformed frame earns an ERROR response and the connection is
+// closed; ERROR is also the answer to well-formed but unservable requests
+// (unknown backup id, BACKUP_END without BACKUP_BEGIN). Encoded payloads
+// are `u8 type | body` — the socket layer adds the length prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "service/wire.h"
+
+namespace defrag::service {
+
+/// Bumped on any incompatible frame/body change; HELLO carries it and the
+/// server rejects mismatches before anything else is parsed.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class FrameType : std::uint8_t {
+  // Requests (client -> server).
+  kHello = 0x01,
+  kBackupBegin = 0x02,
+  kBackupData = 0x03,
+  kBackupEnd = 0x04,
+  kRestore = 0x05,
+  kList = 0x06,
+  kMetrics = 0x07,
+  kShutdown = 0x08,
+  // Responses (server -> client); high bit set.
+  kOk = 0x81,
+  kRejected = 0x82,
+  kError = 0x83,
+  kBackupDone = 0x84,
+  kRestoreData = 0x85,
+  kRestoreDone = 0x86,
+  kBackupList = 0x87,
+  kMetricsJson = 0x88,
+};
+
+std::string to_string(FrameType t);
+
+/// Type byte of a framed payload. Throws WireError on an empty payload or
+/// a type value outside the enum.
+FrameType frame_type(ByteView payload);
+
+/// Body of a framed payload (everything after the type byte).
+ByteView frame_body(ByteView payload);
+
+struct HelloRequest {
+  std::uint32_t version = kProtocolVersion;
+  std::string tenant;
+};
+
+struct BackupBeginRequest {
+  std::string label;
+};
+
+struct RestoreRequest {
+  std::uint32_t backup_id = 0;
+};
+
+struct BackupDoneResponse {
+  std::uint32_t backup_id = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t dup_bytes = 0;
+};
+
+struct RestoreDoneResponse {
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t container_loads = 0;
+};
+
+struct BackupInfo {
+  std::uint32_t id = 0;
+  std::string label;
+  std::uint64_t logical_bytes = 0;
+};
+
+struct BackupListResponse {
+  std::vector<BackupInfo> backups;
+};
+
+// Encoders return a complete payload (type byte + body), ready to frame.
+Bytes encode(const HelloRequest& m);
+Bytes encode(const BackupBeginRequest& m);
+Bytes encode(const RestoreRequest& m);
+Bytes encode(const BackupDoneResponse& m);
+Bytes encode(const RestoreDoneResponse& m);
+Bytes encode(const BackupListResponse& m);
+Bytes encode_backup_data(ByteView chunk);
+Bytes encode_restore_data(ByteView chunk);
+Bytes encode_empty(FrameType t);  // BACKUP_END / LIST / METRICS / SHUTDOWN / OK
+Bytes encode_rejected(std::string_view reason);
+Bytes encode_error(std::string_view reason);
+Bytes encode_metrics_json(std::string_view json);
+
+// Parsers take the body (frame_body of a payload whose type matched) and
+// throw WireError on truncation or trailing bytes.
+HelloRequest parse_hello(ByteView body);
+BackupBeginRequest parse_backup_begin(ByteView body);
+RestoreRequest parse_restore(ByteView body);
+BackupDoneResponse parse_backup_done(ByteView body);
+RestoreDoneResponse parse_restore_done(ByteView body);
+BackupListResponse parse_backup_list(ByteView body);
+std::string parse_reason(ByteView body);  // REJECTED / ERROR
+std::string parse_metrics_json(ByteView body);
+/// BACKUP_END / LIST / METRICS / SHUTDOWN / OK carry no body.
+void parse_empty(ByteView body);
+
+}  // namespace defrag::service

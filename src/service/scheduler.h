@@ -1,0 +1,106 @@
+// Session scheduler: admission control + session-thread lifecycle.
+//
+// defrag-serve runs one thread per connected session; the scheduler is the
+// control plane over those threads. It answers three questions:
+//
+//  1. Admission — may this HELLO become a session? Refused (with a clean
+//     REJECTED reason the client can print) when the server is draining,
+//     when the global concurrent-session limit is reached, or when the
+//     tenant's own quota is reached. Admission is per *session*, counted
+//     from HELLO to connection close.
+//  2. Multiplexing — admitted sessions run concurrently and call straight
+//     into ParallelIngestor::ingest_stream() / the restore path; the
+//     scheduler only bounds how many are in flight, it never serializes
+//     the data plane.
+//  3. Drain — drain() stops new launches, nudges every blocked session off
+//     its socket read (shutdown(SHUT_RD): an in-flight operation still
+//     completes and writes its response), then joins every session thread.
+//     After drain() returns no session thread exists (the TSan shutdown
+//     tests hang on anything less).
+//
+// Lock rank kServiceScheduler (2): the outermost lock of the daemon. A
+// session thread acquires it only in launch bookkeeping, admit/release and
+// finish — never while holding any data-plane lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace defrag::service {
+
+struct SchedulerLimits {
+  /// Concurrent admitted sessions across all tenants.
+  std::size_t max_sessions = 8;
+  /// Concurrent admitted sessions per tenant.
+  std::size_t max_sessions_per_tenant = 4;
+};
+
+class SessionScheduler {
+ public:
+  enum class Admission { kAdmitted, kDraining, kServerFull, kTenantQuota };
+
+  explicit SessionScheduler(const SchedulerLimits& limits) : limits_(limits) {}
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+  /// drain() must have run (checked): threads may not outlive the scheduler.
+  ~SessionScheduler();
+
+  /// Human-readable REJECTED reason for a refused admission.
+  static std::string reason(Admission a);
+
+  /// Spawn a session thread running `body(fd)`. The scheduler owns the
+  /// thread and records `fd` so drain() can unblock it; `body` owns the fd
+  /// itself (closing it). Returns false when draining — the caller must
+  /// close the fd, no thread is created.
+  bool launch(int fd, std::function<void(int)> body);
+
+  /// Count `tenant` against the limits. On kAdmitted the caller MUST pair
+  /// with release(tenant) before its session thread exits.
+  Admission admit(const std::string& tenant);
+  void release(const std::string& tenant);
+
+  /// Stop new launches, shutdown(SHUT_RD) every live session's socket,
+  /// join every session thread. Idempotent; safe to call with sessions
+  /// mid-operation (they finish the operation first — their next read
+  /// returns EOF).
+  void drain();
+
+  /// Join threads of sessions that already finished (accept-loop
+  /// housekeeping, keeps the registry from growing without bound).
+  void reap_finished();
+
+  std::size_t active_sessions() const;
+  std::size_t active_for(const std::string& tenant) const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  /// Session-thread epilogue: moves the session's own thread handle from
+  /// conns_ to finished_ so a reaper (or drain) can join it.
+  void finish_session(std::uint64_t id);
+
+  SchedulerLimits limits_;
+  mutable Mutex mu_{lock_order::kServiceScheduler};
+  CondVar idle_cv_;  // signalled when a session finishes
+  bool draining_ DEFRAG_GUARDED_BY(mu_) = false;
+  bool drained_ DEFRAG_GUARDED_BY(mu_) = false;
+  std::uint64_t next_id_ DEFRAG_GUARDED_BY(mu_) = 0;
+  std::map<std::uint64_t, Conn> conns_ DEFRAG_GUARDED_BY(mu_);
+  /// Threads whose session body returned; joinable by any reaper.
+  std::vector<std::thread> finished_ DEFRAG_GUARDED_BY(mu_);
+  std::size_t admitted_ DEFRAG_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::size_t> admitted_per_tenant_
+      DEFRAG_GUARDED_BY(mu_);
+};
+
+}  // namespace defrag::service

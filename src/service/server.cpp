@@ -1,0 +1,70 @@
+#include "service/server.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "service/session.h"
+#include "service/socket.h"
+
+namespace defrag::service {
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      ingestor_(config.ingest),
+      scheduler_(config.limits),
+      listener_(config.socket_path) {
+  DEFRAG_CHECK_MSG(::pipe(stop_pipe_) == 0, "cannot create stop pipe");
+  // Touch the service counters up front so a metrics export from a fresh
+  // daemon already carries the full service.* surface.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("service.sessions_accepted");
+  reg.counter("service.sessions_rejected");
+  reg.counter("service.sessions_served");
+  reg.counter("service.backups");
+  reg.counter("service.restores");
+  reg.counter("service.bytes_ingested");
+  reg.counter("service.bytes_restored");
+  reg.counter("service.wire_errors");
+  reg.gauge("service.active_sessions").set(0.0);
+}
+
+Server::~Server() {
+  scheduler_.drain();
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+void Server::request_stop() {
+  // Async-signal-safe by construction: one write(2), no locks, no
+  // allocation. A full pipe means a stop is already pending — fine.
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void Server::serve_connection(int fd) {
+  Session session(Conn(fd), scheduler_, catalog_, ingestor_,
+                  [this] { request_stop(); });
+  session.run();
+  obs::MetricsRegistry::global().counter("service.sessions_served").add(1);
+}
+
+void Server::run() {
+  for (;;) {
+    const int fd = listener_.accept_or_stop(stop_pipe_[0]);
+    if (fd < 0) break;  // stop requested
+    scheduler_.reap_finished();
+    if (!scheduler_.launch(fd, [this](int conn_fd) {
+          serve_connection(conn_fd);
+        })) {
+      ::close(fd);  // drain already started; refuse silently
+    }
+  }
+  scheduler_.drain();
+}
+
+}  // namespace defrag::service

@@ -1,0 +1,68 @@
+// defrag-serve's long-running core: listener + scheduler + shared dedup
+// plane, with drain-and-shutdown.
+//
+// One Server owns the whole daemon state:
+//   - a Listener on the configured AF_UNIX path;
+//   - one shared ParallelIngestor (lock-striped index + container store) —
+//     the data plane every tenant deduplicates into;
+//   - the TenantCatalog of per-tenant recipe namespaces;
+//   - the SessionScheduler bounding concurrent sessions.
+//
+// run() is the accept loop: each connection becomes a scheduler-launched
+// session thread; the loop itself blocks in poll() on the listen fd and a
+// self-pipe. request_stop() writes one byte to the pipe — it is
+// async-signal-safe, so defrag_serve.cpp calls it straight from its
+// SIGINT/SIGTERM handler (and sessions call it for the SHUTDOWN request).
+// On wakeup run() stops accepting, drains the scheduler (in-flight
+// operations complete, every session thread is joined) and returns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/parallel_ingest.h"
+#include "service/scheduler.h"
+#include "service/socket.h"
+#include "service/tenant.h"
+
+namespace defrag::service {
+
+struct ServerConfig {
+  std::string socket_path = "/tmp/defrag-serve.sock";
+  SchedulerLimits limits;
+  ParallelIngestParams ingest;
+};
+
+class Server {
+ public:
+  /// Binds the socket (throws SocketError on failure) but accepts nothing
+  /// until run().
+  explicit Server(const ServerConfig& config);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Accept-and-serve until request_stop(); drains before returning.
+  void run();
+
+  /// Wake run() and begin drain-and-shutdown. Async-signal-safe (one
+  /// write() on a pipe); callable from any thread, idempotent.
+  void request_stop();
+
+  const std::string& socket_path() const { return listener_.path(); }
+  SessionScheduler& scheduler() { return scheduler_; }
+  TenantCatalog& catalog() { return catalog_; }
+  ParallelIngestor& ingestor() { return ingestor_; }
+
+ private:
+  void serve_connection(int fd);
+
+  ServerConfig config_;
+  ParallelIngestor ingestor_;
+  TenantCatalog catalog_;
+  SessionScheduler scheduler_;
+  Listener listener_;
+  int stop_pipe_[2] = {-1, -1};  // [0] polled by run(), [1] written by stop
+};
+
+}  // namespace defrag::service

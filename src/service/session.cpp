@@ -1,0 +1,253 @@
+#include "service/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "core/parallel_ingest.h"
+#include "dedup/engine.h"
+#include "dedup/restore_strategies.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/socket.h"
+#include "service/tenant.h"
+#include "service/wire.h"
+#include "storage/container_store.h"
+#include "storage/recipe.h"
+
+namespace defrag::service {
+
+namespace {
+
+/// RESTORE_DATA framing granularity (well under kMaxFramePayload).
+constexpr std::uint64_t kRestoreDataChunk = 4ull << 20;
+
+double us_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Session::Session(Conn conn, SessionScheduler& scheduler,
+                 TenantCatalog& catalog, ParallelIngestor& ingestor,
+                 std::function<void()> request_stop)
+    : conn_(std::move(conn)),
+      scheduler_(scheduler),
+      catalog_(catalog),
+      ingestor_(ingestor),
+      request_stop_(std::move(request_stop)) {}
+
+void Session::run() {
+  auto& reg = obs::MetricsRegistry::global();
+  try {
+    if (handle_hello()) {
+      while (true) {
+        const std::optional<Bytes> payload = conn_.recv_frame();
+        if (!payload.has_value()) break;  // clean EOF
+        if (!handle(*payload)) break;
+      }
+    }
+  } catch (const WireError& e) {
+    reg.counter("service.wire_errors").add(1);
+    try {
+      send(encode_error(e.what()));
+    } catch (const SocketError&) {
+      // Peer already gone; nothing left to tell it.
+    } catch (const WireError&) {
+      // Reason string itself unencodable; just close.
+    }
+  } catch (const SocketError&) {
+    // Peer vanished mid-write; admission/metrics cleanup below still runs.
+  }
+  if (admitted_) {
+    flush_metrics();
+    scheduler_.release(tenant_);
+    reg.gauge("service.active_sessions")
+        .set(static_cast<double>(scheduler_.active_sessions()));
+  }
+  conn_.close();
+}
+
+bool Session::handle_hello() {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::optional<Bytes> payload = conn_.recv_frame();
+  if (!payload.has_value()) return false;  // connected and left
+  if (frame_type(*payload) != FrameType::kHello) {
+    throw WireError("expected HELLO");
+  }
+  const HelloRequest hello = parse_hello(frame_body(*payload));
+  if (hello.version != kProtocolVersion) {
+    send(encode_rejected("protocol version mismatch"));
+    return false;
+  }
+  const SessionScheduler::Admission verdict = scheduler_.admit(hello.tenant);
+  if (verdict != SessionScheduler::Admission::kAdmitted) {
+    reg.counter("service.sessions_rejected").add(1);
+    reg.counter(TenantCatalog::metric_scope(hello.tenant) + "rejected")
+        .add(1);
+    send(encode_rejected(SessionScheduler::reason(verdict)));
+    return false;
+  }
+  admitted_ = true;
+  tenant_ = hello.tenant;
+  scope_ = TenantCatalog::metric_scope(tenant_);
+  local_.counter(scope_ + "sessions").add(1);
+  reg.counter("service.sessions_accepted").add(1);
+  reg.gauge("service.active_sessions")
+      .set(static_cast<double>(scheduler_.active_sessions()));
+  send(encode_empty(FrameType::kOk));
+  return true;
+}
+
+bool Session::handle(ByteView payload) {
+  const FrameType type = frame_type(payload);
+  const ByteView body = frame_body(payload);
+  switch (type) {
+    case FrameType::kHello:
+      throw WireError("duplicate HELLO");
+    case FrameType::kBackupBegin: {
+      if (in_backup_) throw WireError("BACKUP_BEGIN inside a backup");
+      const BackupBeginRequest req = parse_backup_begin(body);
+      in_backup_ = true;
+      backup_label_ = req.label;
+      backup_data_.clear();
+      send(encode_empty(FrameType::kOk));
+      return true;
+    }
+    case FrameType::kBackupData:
+      if (!in_backup_) throw WireError("BACKUP_DATA outside a backup");
+      if (backup_data_.size() + body.size() > kMaxBackupBytes) {
+        throw WireError("backup stream exceeds size cap");
+      }
+      backup_data_.insert(backup_data_.end(), body.begin(), body.end());
+      return true;
+    case FrameType::kBackupEnd:
+      parse_empty(body);
+      if (!in_backup_) throw WireError("BACKUP_END outside a backup");
+      return do_backup_end();
+    case FrameType::kRestore:
+      return do_restore(parse_restore(body));
+    case FrameType::kList:
+      parse_empty(body);
+      return do_list();
+    case FrameType::kMetrics:
+      parse_empty(body);
+      return do_metrics();
+    case FrameType::kShutdown:
+      parse_empty(body);
+      // Acknowledge first: once the drain starts, this session's next
+      // read sees EOF and the loop exits cleanly.
+      send(encode_empty(FrameType::kOk));
+      request_stop_();
+      return true;
+    default:
+      throw WireError("unexpected frame type from client");
+  }
+}
+
+bool Session::do_backup_end() {
+  const auto start = std::chrono::steady_clock::now();
+  Recipe recipe(backup_label_.empty() ? tenant_ : backup_label_);
+  const StreamIngestStats st =
+      ingestor_.ingest_stream(ByteView(backup_data_), &recipe);
+  const std::uint32_t id = catalog_.commit(tenant_, std::move(recipe));
+
+  local_.counter(scope_ + "backups").add(1);
+  local_.counter(scope_ + "logical_bytes").add(st.logical_bytes);
+  local_.counter(scope_ + "unique_bytes").add(st.unique_bytes);
+  local_.counter(scope_ + "dup_bytes").add(st.dup_bytes);
+  local_.histogram(scope_ + "backup_wall_us").observe(us_since(start));
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("service.backups").add(1);
+  reg.counter("service.bytes_ingested").add(st.logical_bytes);
+  flush_metrics();
+
+  BackupDoneResponse resp;
+  resp.backup_id = id;
+  resp.logical_bytes = st.logical_bytes;
+  resp.chunk_count = st.chunk_count;
+  resp.unique_bytes = st.unique_bytes;
+  resp.dup_bytes = st.dup_bytes;
+  in_backup_ = false;
+  backup_data_.clear();
+  backup_data_.shrink_to_fit();
+  send(encode(resp));
+  return true;
+}
+
+bool Session::do_restore(const RestoreRequest& req) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const Recipe> recipe =
+      catalog_.find(tenant_, req.backup_id);
+  if (recipe == nullptr) {
+    send(encode_error("unknown backup id for this tenant"));
+    return true;  // unservable but well-formed; session continues
+  }
+
+  // Another tenant's in-flight backup may still hold a referenced
+  // container open; wait for every distinct container's seal to be
+  // published before reading (bounded by that stream's appender close).
+  std::set<ContainerId> referenced;
+  for (const RecipeEntry& e : recipe->entries()) {
+    referenced.insert(e.location.container);
+  }
+  const ContainerStore& store = ingestor_.store();
+  for (const ContainerId id : referenced) store.wait_sealed(id);
+
+  Bytes out;
+  out.reserve(recipe->logical_bytes());
+  const RestoreOptions options;
+  const RestoreResult rr = restore_with_strategy(
+      store, *recipe, ingestor_.params().disk, options, &out);
+
+  local_.counter(scope_ + "restores").add(1);
+  local_.counter(scope_ + "restored_bytes").add(out.size());
+  local_.histogram(scope_ + "restore_wall_us").observe(us_since(start));
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("service.restores").add(1);
+  reg.counter("service.bytes_restored").add(out.size());
+  flush_metrics();
+
+  for (std::uint64_t off = 0; off < out.size(); off += kRestoreDataChunk) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(kRestoreDataChunk, out.size() - off);
+    send(encode_restore_data(ByteView(out).subspan(off, n)));
+  }
+  RestoreDoneResponse resp;
+  resp.logical_bytes = out.size();
+  resp.container_loads = rr.container_loads;
+  send(encode(resp));
+  return true;
+}
+
+bool Session::do_list() {
+  BackupListResponse resp;
+  resp.backups = catalog_.list(tenant_);
+  send(encode(resp));
+  return true;
+}
+
+bool Session::do_metrics() {
+  std::ostringstream os;
+  obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
+  send(encode_metrics_json(os.str()));
+  return true;
+}
+
+void Session::flush_metrics() {
+  obs::MetricsRegistry::global().merge_from(local_);
+  local_.reset();
+}
+
+}  // namespace defrag::service

@@ -1,0 +1,81 @@
+// One connected client's protocol loop (runs on its own scheduler thread).
+//
+// A Session owns its Conn and drives the request/response state machine of
+// protocol.h: HELLO (admission via the SessionScheduler), then any number
+// of backup / restore / list / metrics / shutdown operations until the
+// client disconnects or a malformed frame closes the connection.
+//
+// Data plane: BACKUP_END hands the accumulated stream to
+// ParallelIngestor::ingest_stream() with a Recipe, and commits the recipe
+// into the tenant's namespace; RESTORE fetches the recipe, waits for every
+// container it references to be *sealed* (ContainerStore::wait_sealed — the
+// barrier that makes restoring concurrently with other tenants' in-flight
+// backups race-free), and replays it through restore_with_strategy().
+//
+// Metrics: session-scoped values accumulate in a session-local
+// MetricsRegistry under the tenant's "service.tenant.<slug>." scope and
+// are folded into the global registry after every completed operation
+// (merge + reset, so counters never double-count), which also keeps
+// histogram observation single-threaded per session. Process-wide
+// service.* counters are updated directly (they are atomic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "core/parallel_ingest.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/socket.h"
+#include "service/tenant.h"
+
+namespace defrag::service {
+
+/// Cap on one accumulated backup stream (the service is an in-memory
+/// simulation; a runaway client should fail cleanly, not OOM the daemon).
+inline constexpr std::uint64_t kMaxBackupBytes = 1ull << 30;
+
+class Session {
+ public:
+  Session(Conn conn, SessionScheduler& scheduler, TenantCatalog& catalog,
+          ParallelIngestor& ingestor, std::function<void()> request_stop);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Run the protocol loop to completion. Never throws: peer-caused
+  /// failures (WireError/SocketError) close the connection; admission
+  /// state and metrics are always released/flushed on the way out.
+  void run();
+
+ private:
+  bool handle_hello();
+  /// One post-admission request. Returns false to close the connection.
+  bool handle(ByteView payload);
+  bool do_backup_end();
+  bool do_restore(const RestoreRequest& req);
+  bool do_list();
+  bool do_metrics();
+  void send(const Bytes& payload) { conn_.send_frame(payload); }
+  /// Fold the session-local registry into the global one and clear it.
+  void flush_metrics();
+
+  Conn conn_;
+  SessionScheduler& scheduler_;
+  TenantCatalog& catalog_;
+  ParallelIngestor& ingestor_;
+  std::function<void()> request_stop_;
+
+  bool admitted_ = false;
+  std::string tenant_;
+  std::string scope_;  // "service.tenant.<slug>."
+  obs::MetricsRegistry local_;
+
+  bool in_backup_ = false;
+  std::string backup_label_;
+  Bytes backup_data_;
+};
+
+}  // namespace defrag::service

@@ -1,0 +1,182 @@
+#include "service/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "service/wire.h"
+
+namespace defrag::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Conn::Conn(Conn&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Conn::~Conn() { close(); }
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Conn::write_all(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a vanished peer is a SocketError, not a SIGPIPE death.
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Conn::read_all(void* data, std::size_t len, bool eof_ok) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw WireError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Conn::send_frame(ByteView payload) {
+  if (payload.empty() || payload.size() > kMaxFramePayload) {
+    throw WireError("frame payload size out of range");
+  }
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  write_all(header, sizeof header);
+  write_all(payload.data(), payload.size());
+}
+
+std::optional<Bytes> Conn::recv_frame() {
+  std::uint8_t header[4];
+  if (!read_all(header, sizeof header, /*eof_ok=*/true)) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (len == 0) throw WireError("zero-length frame");
+  if (len > kMaxFramePayload) throw WireError("frame length exceeds cap");
+  Bytes payload(len);
+  read_all(payload.data(), payload.size(), /*eof_ok=*/false);
+  return payload;
+}
+
+Conn connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw SocketError("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Conn conn(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    throw_errno("connect " + path);
+  }
+  return conn;
+}
+
+Listener::Listener(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof addr.sun_path) {
+    throw SocketError("socket path too long: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  ::unlink(path_.c_str());  // stale socket from a crashed predecessor
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind " + path_);
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    ::unlink(path_.c_str());
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen " + path_);
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+int Listener::accept_or_stop(int stop_fd) {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = pollfd{fd_, POLLIN, 0};
+    fds[1] = pollfd{stop_fd, POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (fds[1].revents != 0) return -1;  // stop byte beats pending accepts
+    if (fds[0].revents != 0) {
+      const int conn_fd = ::accept(fd_, nullptr, nullptr);
+      if (conn_fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        throw_errno("accept");
+      }
+      return conn_fd;
+    }
+  }
+}
+
+}  // namespace defrag::service

@@ -1,0 +1,63 @@
+#include "service/tenant.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "storage/recipe.h"
+
+namespace defrag::service {
+
+std::string TenantCatalog::metric_scope(const std::string& tenant) {
+  return "service.tenant." + obs::slug(tenant) + ".";
+}
+
+TenantCatalog::Tenant& TenantCatalog::tenant_locked(const std::string& name) {
+  return tenants_[name];
+}
+
+std::uint32_t TenantCatalog::commit(const std::string& tenant, Recipe recipe) {
+  const std::string scope = metric_scope(tenant);
+  auto& reg = obs::MetricsRegistry::global();
+  MutexLock lock(mu_);
+  Tenant& t = tenant_locked(tenant);
+  const std::uint32_t id = t.next_id++;
+  reg.counter(scope + "backups_committed").add(1);
+  reg.counter(scope + "catalog_logical_bytes").add(recipe.logical_bytes());
+  t.backups.emplace(id, std::make_shared<const Recipe>(std::move(recipe)));
+  return id;
+}
+
+std::shared_ptr<const Recipe> TenantCatalog::find(const std::string& tenant,
+                                                  std::uint32_t id) const {
+  MutexLock lock(mu_);
+  const auto t = tenants_.find(tenant);
+  if (t == tenants_.end()) return nullptr;
+  const auto b = t->second.backups.find(id);
+  return b == t->second.backups.end() ? nullptr : b->second;
+}
+
+std::vector<BackupInfo> TenantCatalog::list(const std::string& tenant) const {
+  std::vector<BackupInfo> out;
+  MutexLock lock(mu_);
+  const auto t = tenants_.find(tenant);
+  if (t == tenants_.end()) return out;
+  out.reserve(t->second.backups.size());
+  for (const auto& [id, recipe] : t->second.backups) {
+    out.push_back(BackupInfo{id, recipe->label(), recipe->logical_bytes()});
+  }
+  return out;
+}
+
+std::size_t TenantCatalog::tenant_count() const {
+  MutexLock lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace defrag::service

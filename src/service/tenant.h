@@ -1,0 +1,69 @@
+// Per-tenant backup namespaces over the shared dedup core.
+//
+// Every tenant gets an isolated recipe catalog: backup ids are allocated
+// per tenant (starting at 1) and lookups are keyed by (tenant, id), so one
+// tenant can never address another tenant's backups. What IS shared is the
+// data plane underneath — all tenants deduplicate into one ContainerStore
+// through one ShardedPagedIndex, which is the whole point of a multi-tenant
+// dedup service (cross-tenant redundancy is stored once).
+//
+// Recipes are immutable once committed (shared_ptr<const Recipe>), so a
+// restore session holds its recipe without the catalog lock while another
+// session commits. The catalog also owns each tenant's metric scope:
+// committed-backup counters live under "service.tenant.<slug>." in the
+// global registry (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "storage/recipe.h"
+
+namespace defrag::service {
+
+class TenantCatalog {
+ public:
+  TenantCatalog() = default;
+  TenantCatalog(const TenantCatalog&) = delete;
+  TenantCatalog& operator=(const TenantCatalog&) = delete;
+
+  /// Commit a finished backup into `tenant`'s namespace; returns its id
+  /// (per-tenant, 1-based, monotonically increasing). Creates the tenant
+  /// on first use.
+  std::uint32_t commit(const std::string& tenant, Recipe recipe);
+
+  /// The recipe for (tenant, id), or nullptr when either is unknown.
+  std::shared_ptr<const Recipe> find(const std::string& tenant,
+                                     std::uint32_t id) const;
+
+  /// This tenant's backups, id order. Unknown tenant -> empty list.
+  std::vector<BackupInfo> list(const std::string& tenant) const;
+
+  /// Global metric-name prefix for a tenant ("service.tenant.<slug>.").
+  static std::string metric_scope(const std::string& tenant);
+
+  std::size_t tenant_count() const;
+
+ private:
+  struct Tenant {
+    std::uint32_t next_id = 1;
+    std::map<std::uint32_t, std::shared_ptr<const Recipe>> backups;
+  };
+
+  Tenant& tenant_locked(const std::string& name) DEFRAG_REQUIRES(mu_);
+
+  // Rank kServiceTenants: commit() registers tenant counters in the global
+  // MetricsRegistry under this lock (5 < 30); nothing here ever touches the
+  // store or index locks.
+  mutable Mutex mu_{lock_order::kServiceTenants};
+  std::map<std::string, Tenant> tenants_ DEFRAG_GUARDED_BY(mu_);
+};
+
+}  // namespace defrag::service

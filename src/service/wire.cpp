@@ -1,0 +1,91 @@
+#include "service/wire.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace defrag::service {
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::str(std::string_view s) {
+  if (s.size() > kMaxWireString) {
+    throw WireError("string exceeds wire limit");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) out_.push_back(static_cast<std::uint8_t>(c));
+}
+
+void WireWriter::raw(ByteView data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    throw WireError("truncated frame body");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  if (len > kMaxWireString) {
+    throw WireError("string length exceeds wire limit");
+  }
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+ByteView WireReader::rest() {
+  const ByteView r = data_.subspan(pos_);
+  pos_ = data_.size();
+  return r;
+}
+
+void WireReader::done() const {
+  if (pos_ != data_.size()) {
+    throw WireError("trailing bytes after message body");
+  }
+}
+
+}  // namespace defrag::service

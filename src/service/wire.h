@@ -1,0 +1,86 @@
+// Wire primitives for the defrag-serve framed protocol.
+//
+// Everything on the socket is a *frame*:
+//
+//   u32 payload_len (little-endian) | payload (payload_len bytes)
+//   payload := u8 type | body
+//
+// payload_len counts the type byte, so it is always >= 1; it is capped at
+// kMaxFramePayload (a malformed or hostile length is rejected before any
+// allocation). Body encoding is fixed-width little-endian integers and
+// length-prefixed strings — no varints, no alignment, no padding — so a
+// frame is parseable with nothing but get_u*() calls and every parse error
+// is detectable as "ran out of bytes" or "trailing garbage".
+//
+// Parse failures throw WireError. WireError is a *peer* problem (close the
+// connection, keep the process), unlike CheckFailure which means a bug in
+// this process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace defrag::service {
+
+/// Malformed frame or body: bad length prefix, truncated body, trailing
+/// bytes, oversized string. Connection-fatal, process-safe.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard cap on one frame's payload (type byte + body). Large backup
+/// streams are sent as a sequence of DATA frames, so no legitimate frame
+/// approaches this.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Cap on one length-prefixed string (tenant names, error reasons; the
+/// metrics-JSON response is sent as a raw body instead).
+inline constexpr std::uint32_t kMaxWireString = 64u << 10;
+
+/// Appends fixed-width little-endian values to a byte buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// u32 length + raw bytes. Throws WireError when over kMaxWireString.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (the frame length delimits them).
+  void raw(ByteView data);
+
+ private:
+  Bytes& out_;
+};
+
+/// Consumes fixed-width little-endian values from a frame body; every
+/// read throws WireError on underrun, and done() rejects trailing bytes.
+class WireReader {
+ public:
+  explicit WireReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+  /// Everything not yet consumed.
+  ByteView rest();
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Asserts the body was consumed exactly.
+  void done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace defrag::service

@@ -33,11 +33,13 @@ ContainerStore::ContainerStore(ContainerStore&& other) noexcept
     : capacity_(other.capacity_),
       compress_on_seal_(other.compress_on_seal_),
       containers_(std::move(other.containers_)),
+      seal_published_(std::move(other.seal_published_)),
       stream_mode_(other.stream_mode_),
       active_appenders_(other.active_appenders_),
       obs_(other.obs_) {
   DEFRAG_DCHECK(active_appenders_ == 0);
   other.containers_.clear();
+  other.seal_published_.clear();
   other.stream_mode_ = false;
 }
 
@@ -47,9 +49,11 @@ ContainerStore& ContainerStore::operator=(ContainerStore&& other) noexcept {
   capacity_ = other.capacity_;
   compress_on_seal_ = other.compress_on_seal_;
   containers_ = std::move(other.containers_);
+  seal_published_ = std::move(other.seal_published_);
   stream_mode_ = other.stream_mode_;
   obs_ = other.obs_;
   other.containers_.clear();
+  other.seal_published_.clear();
   other.stream_mode_ = false;
   return *this;
 }
@@ -58,6 +62,7 @@ Container& ContainerStore::writable() {
   if (containers_.empty() || containers_.back()->sealed()) {
     containers_.push_back(std::make_unique<Container>(
         static_cast<ContainerId>(containers_.size()), capacity_));
+    seal_published_.push_back(false);
   }
   return *containers_.back();
 }
@@ -72,6 +77,7 @@ ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
   Container* c = &writable();
   if (!c->fits(static_cast<std::uint32_t>(data.size()))) {
     c->seal(compress_on_seal_);
+    publish_seal_locked(c->id());
     obs_.seals->add(1);
     c = &writable();
   }
@@ -89,6 +95,7 @@ void ContainerStore::flush() {
                    "serial flush() on a store with open_stream() appenders");
   if (containers_.empty() || containers_.back()->sealed()) return;
   containers_.back()->seal(compress_on_seal_);
+  publish_seal_locked(containers_.back()->id());
   obs_.seals->add(1);
 }
 
@@ -98,6 +105,7 @@ ContainerStore::StreamAppender ContainerStore::open_stream() {
   // appenders never share a tail with the serial writer.
   if (!stream_mode_ && !containers_.empty() && !containers_.back()->sealed()) {
     containers_.back()->seal(compress_on_seal_);
+    publish_seal_locked(containers_.back()->id());
     obs_.seals->add(1);
   }
   stream_mode_ = true;
@@ -109,7 +117,37 @@ Container* ContainerStore::allocate_container() {
   MutexLock lock(mu_);
   containers_.push_back(std::make_unique<Container>(
       static_cast<ContainerId>(containers_.size()), capacity_));
+  seal_published_.push_back(false);
   return containers_.back().get();
+}
+
+void ContainerStore::publish_seal_locked(ContainerId id) {
+  DEFRAG_CHECK_MSG(id < seal_published_.size(), "publishing unknown container");
+  seal_published_[id] = true;
+  seal_cv_.notify_all();
+}
+
+void ContainerStore::publish_seal(ContainerId id) {
+  MutexLock lock(mu_);
+  publish_seal_locked(id);
+}
+
+bool ContainerStore::sealed_visible(ContainerId id) const {
+  MutexLock lock(mu_);
+  return id < seal_published_.size() && seal_published_[id];
+}
+
+void ContainerStore::wait_sealed(ContainerId id) const {
+  MutexLock lock(mu_);
+  while (id >= seal_published_.size() || !seal_published_[id]) {
+    seal_cv_.wait(mu_);
+  }
+}
+
+const Container& ContainerStore::load_sealed(ContainerId id,
+                                             DiskSim& sim) const {
+  wait_sealed(id);
+  return load(id, sim);
 }
 
 void ContainerStore::appender_closed() {
@@ -135,6 +173,7 @@ ChunkLocation ContainerStore::StreamAppender::append(const Fingerprint& fp,
   // lock-free; only rolling to a fresh container touches the store.
   if (open_ != nullptr && !open_->fits(static_cast<std::uint32_t>(data.size()))) {
     open_->seal(store_->compress_on_seal_);
+    store_->publish_seal(open_->id());
     store_->obs_.seals->add(1);
     open_ = nullptr;
   }
@@ -149,6 +188,7 @@ void ContainerStore::StreamAppender::close() {
   if (store_ == nullptr) return;
   if (open_ != nullptr) {
     open_->seal(store_->compress_on_seal_);
+    store_->publish_seal(open_->id());
     store_->obs_.seals->add(1);
     open_ = nullptr;
   }

@@ -28,7 +28,10 @@
 // appender first; this is DCHECKed. Readers may load/peek sealed
 // containers concurrently with other streams' appends only if the
 // container's seal happened-before the read (join the writer, or observe
-// its close()).
+// its close()) — or by going through wait_sealed()/load_sealed(), which
+// block until the seal is *published* under the store mutex and are
+// therefore safe from any thread at any time (the concurrent-restore path
+// of the service daemon).
 //
 // The ObsHandles counters are process-wide relaxed atomics (see
 // obs/metrics.h) and safe from any thread.
@@ -109,6 +112,22 @@ class ContainerStore {
   /// container transfer.
   const Container& load(ContainerId id, DiskSim& sim) const;
 
+  /// Whether `id` exists and its seal has been *published* to the store
+  /// (all seal sites publish under mu_, so a true return from any thread
+  /// happens-after the sealing writes — the payload is safely readable).
+  bool sealed_visible(ContainerId id) const;
+
+  /// Block until container `id` exists and its seal is published. The
+  /// concurrent-restore barrier: a service session restoring a recipe that
+  /// references another stream's container waits here until that stream
+  /// rolls or closes its appender, then reads race-free. Containers seal no
+  /// later than appender close(), so waits are bounded by the writing
+  /// session's lifetime.
+  void wait_sealed(ContainerId id) const;
+
+  /// wait_sealed() + load(): the safe read path under concurrent appends.
+  const Container& load_sealed(ContainerId id, DiskSim& sim) const;
+
   /// Load only the metadata section (DDFS locality-preserved caching):
   /// one seek + metadata transfer.
   const std::vector<ContainerEntry>& load_metadata(ContainerId id,
@@ -143,6 +162,15 @@ class ContainerStore {
   /// Appender bookkeeping around close().
   void appender_closed() DEFRAG_EXCLUDES(mu_);
 
+  /// Record that `id` sealed while mu_ was held (serial path) and wake
+  /// wait_sealed() waiters.
+  void publish_seal_locked(ContainerId id) DEFRAG_REQUIRES(mu_);
+
+  /// Publish a seal performed off-lock (StreamAppender roll/close): takes
+  /// mu_, which is what gives readers the happens-before edge with the
+  /// sealing writes.
+  void publish_seal(ContainerId id) DEFRAG_EXCLUDES(mu_);
+
   const Container& container_at(ContainerId id) const DEFRAG_EXCLUDES(mu_);
 
   std::uint64_t capacity_;
@@ -152,6 +180,13 @@ class ContainerStore {
   // (obs counters are lock-free handles resolved at construction).
   mutable Mutex mu_{lock_order::kContainerStore};
   std::vector<std::unique_ptr<Container>> containers_ DEFRAG_GUARDED_BY(mu_);
+  // Store-side seal publication, parallel to containers_. StreamAppenders
+  // seal their private container off-lock; readers must never touch a
+  // container's own state concurrently, so seals become *visible* only via
+  // this vector, written under mu_ (serial-path seal sites already hold it;
+  // appenders publish through publish_seal()).
+  std::vector<bool> seal_published_ DEFRAG_GUARDED_BY(mu_);
+  mutable CondVar seal_cv_;
   bool stream_mode_ DEFRAG_GUARDED_BY(mu_) = false;
   std::size_t active_appenders_ DEFRAG_GUARDED_BY(mu_) = 0;
 

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "dedup/restore_strategies.h"
 #include "obs/metrics.h"
+#include "storage/recipe.h"
 #include "testing/data.h"
 
 namespace defrag {
@@ -153,6 +157,81 @@ TEST(ParallelIngestTest, PerStreamStatsAddUp) {
   EXPECT_EQ(dup, res.dup_bytes);
   EXPECT_EQ(chunks, res.chunk_count);
   EXPECT_GT(res.wall_seconds, 0.0);
+}
+
+// The recipes out-param makes every stream restore-grade: one entry per
+// chunk in stream order with a published location even for duplicates won
+// by another stream.
+TEST(ParallelIngestTest, BatchRecipesRestoreBitIdentically) {
+  const Bytes shared = testing::random_bytes(512 * 1024, 507);
+  Bytes a = shared;
+  const Bytes tail_a = testing::random_bytes(128 * 1024, 508);
+  a.insert(a.end(), tail_a.begin(), tail_a.end());
+  Bytes b = shared;
+  const Bytes tail_b = testing::random_bytes(128 * 1024, 509);
+  b.insert(b.end(), tail_b.begin(), tail_b.end());
+
+  ParallelIngestor ingestor;
+  std::vector<Recipe> recipes;
+  const std::vector<ByteView> streams = {ByteView(a), ByteView(b),
+                                         ByteView(a)};
+  const ParallelIngestResult res = ingestor.ingest(streams, &recipes);
+  ASSERT_EQ(recipes.size(), streams.size());
+  EXPECT_GT(res.dup_bytes, 0u);  // shared prefix dedups across streams
+
+  const RestoreOptions options;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_EQ(recipes[i].logical_bytes(), streams[i].size());
+    Bytes out;
+    restore_with_strategy(ingestor.store(), recipes[i],
+                          ingestor.params().disk, options, &out);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), streams[i].begin(),
+                           streams[i].end()))
+        << "stream " << i;
+  }
+}
+
+// ingest_stream() is the service entry point: many external threads, no
+// batch barrier, recipes that must stay restore-grade under the race.
+TEST(ParallelIngestTest, ConcurrentIngestStreamCallsAreRestoreGrade) {
+  const Bytes shared = testing::random_bytes(512 * 1024, 510);
+  constexpr std::size_t kThreads = 4;
+
+  std::vector<Bytes> datas(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    datas[t] = shared;
+    const Bytes tail = testing::random_bytes(64 * 1024, 511 + t);
+    datas[t].insert(datas[t].end(), tail.begin(), tail.end());
+  }
+
+  ParallelIngestor ingestor;
+  std::vector<Recipe> recipes(kThreads);
+  std::vector<StreamIngestStats> stats(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stats[t] = ingestor.ingest_stream(ByteView(datas[t]), &recipes[t]);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Deterministic dedup: exactly one copy of the shared prefix is unique.
+  std::uint64_t unique = 0;
+  for (const StreamIngestStats& st : stats) unique += st.unique_bytes;
+  std::vector<ByteView> views;
+  for (const Bytes& d : datas) views.push_back(ByteView(d));
+  EXPECT_EQ(unique, reference_unique_bytes(ingestor.params(), views));
+  EXPECT_EQ(ingestor.index().pending_claims(), 0u);
+
+  const RestoreOptions options;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    Bytes out;
+    restore_with_strategy(ingestor.store(), recipes[t],
+                          ingestor.params().disk, options, &out);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), datas[t].begin(),
+                           datas[t].end()))
+        << "stream " << t;
+  }
 }
 
 }  // namespace

@@ -120,6 +120,35 @@ TEST(MetricsRegistryTest, MergeShardsEqualsSequential) {
   }
 }
 
+TEST(MetricsRegistryTest, MergeFromWithPrefixRescopesNames) {
+  // The per-tenant publication pattern from defrag-serve: a session-local
+  // registry with bare names folded under a scope prefix in the target.
+  MetricsRegistry session;
+  session.counter("backups").add(2);
+  session.counter("logical_bytes").add(4096);
+  session.gauge("last_rate").set(1.5);
+  session.histogram("wall_us").observe(100.0);
+
+  MetricsRegistry root;
+  root.counter("service.tenant.alice.backups").add(1);  // pre-existing total
+  root.merge_from(session, "service.tenant.alice.");
+
+  EXPECT_EQ(root.counter("service.tenant.alice.backups").value(), 3u);
+  EXPECT_EQ(root.counter("service.tenant.alice.logical_bytes").value(), 4096u);
+  EXPECT_DOUBLE_EQ(root.gauge("service.tenant.alice.last_rate").value(), 1.5);
+  EXPECT_EQ(root.histogram("service.tenant.alice.wall_us").stats().count(), 1u);
+  // The bare names never appear in the target.
+  EXPECT_EQ(root.size(), 4u);
+
+  // Two tenants with identical bare names stay disjoint.
+  root.merge_from(session, "service.tenant.bob.");
+  EXPECT_EQ(root.counter("service.tenant.bob.backups").value(), 2u);
+  EXPECT_EQ(root.counter("service.tenant.alice.backups").value(), 3u);
+
+  // A prefix producing an invalid combined name is rejected.
+  EXPECT_THROW(root.merge_from(session, "bad prefix."), CheckFailure);
+}
+
 TEST(MetricsRegistryTest, CounterIsThreadSafe) {
   MetricsRegistry reg;
   Counter& c = reg.counter("x.parallel");

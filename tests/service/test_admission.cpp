@@ -1,0 +1,127 @@
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace defrag::service {
+namespace {
+
+using Admission = SessionScheduler::Admission;
+
+TEST(AdmissionTest, GlobalLimitEnforced) {
+  SchedulerLimits limits;
+  limits.max_sessions = 3;
+  limits.max_sessions_per_tenant = 3;
+  SessionScheduler sched(limits);
+  EXPECT_EQ(sched.admit("a"), Admission::kAdmitted);
+  EXPECT_EQ(sched.admit("b"), Admission::kAdmitted);
+  EXPECT_EQ(sched.admit("c"), Admission::kAdmitted);
+  EXPECT_EQ(sched.admit("d"), Admission::kServerFull);
+  EXPECT_EQ(sched.active_sessions(), 3u);
+  sched.release("b");
+  EXPECT_EQ(sched.admit("d"), Admission::kAdmitted);
+  sched.release("a");
+  sched.release("c");
+  sched.release("d");
+  EXPECT_EQ(sched.active_sessions(), 0u);
+  sched.drain();
+}
+
+TEST(AdmissionTest, PerTenantQuotaEnforced) {
+  SchedulerLimits limits;
+  limits.max_sessions = 8;
+  limits.max_sessions_per_tenant = 2;
+  SessionScheduler sched(limits);
+  EXPECT_EQ(sched.admit("acme"), Admission::kAdmitted);
+  EXPECT_EQ(sched.admit("acme"), Admission::kAdmitted);
+  // Over quota for acme, but another tenant still fits.
+  EXPECT_EQ(sched.admit("acme"), Admission::kTenantQuota);
+  EXPECT_EQ(sched.admit("globex"), Admission::kAdmitted);
+  EXPECT_EQ(sched.active_for("acme"), 2u);
+  EXPECT_EQ(sched.active_for("globex"), 1u);
+  sched.release("acme");
+  EXPECT_EQ(sched.admit("acme"), Admission::kAdmitted);
+  sched.release("acme");
+  sched.release("acme");
+  sched.release("globex");
+  sched.drain();
+}
+
+TEST(AdmissionTest, DrainingRefusesAdmissionAndLaunch) {
+  SessionScheduler sched(SchedulerLimits{});
+  sched.drain();
+  EXPECT_EQ(sched.admit("acme"), Admission::kDraining);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EXPECT_FALSE(sched.launch(fds[0], [](int fd) { ::close(fd); }));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(AdmissionTest, RejectionReasonsAreDistinct) {
+  EXPECT_NE(SessionScheduler::reason(Admission::kDraining),
+            SessionScheduler::reason(Admission::kServerFull));
+  EXPECT_NE(SessionScheduler::reason(Admission::kServerFull),
+            SessionScheduler::reason(Admission::kTenantQuota));
+  EXPECT_FALSE(SessionScheduler::reason(Admission::kTenantQuota).empty());
+}
+
+TEST(AdmissionTest, LaunchedBodiesRunAndDrainJoinsAll) {
+  SessionScheduler sched(SchedulerLimits{});
+  std::atomic<int> ran{0};
+  constexpr int kSessions = 6;
+  for (int i = 0; i < kSessions; ++i) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[1]);
+    ASSERT_TRUE(sched.launch(fds[0], [&ran](int fd) {
+      ran.fetch_add(1);
+      ::close(fd);
+    }));
+  }
+  sched.drain();  // joins every session thread
+  EXPECT_EQ(ran.load(), kSessions);
+}
+
+// The drain contract: a session blocked in read() is nudged off its socket
+// (SHUT_RD) and drain() does not return until the session thread is gone.
+// Under TSan this also proves no session thread outlives the scheduler.
+TEST(AdmissionTest, DrainUnblocksBlockedReader) {
+  SessionScheduler sched(SchedulerLimits{});
+  std::atomic<bool> saw_eof{false};
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(sched.launch(fds[0], [&saw_eof](int fd) {
+    char byte;
+    // Blocks until drain() shuts the socket down for reading.
+    const ssize_t n = ::read(fd, &byte, 1);
+    saw_eof.store(n == 0);
+    ::close(fd);
+  }));
+  sched.drain();
+  EXPECT_TRUE(saw_eof.load());
+  ::close(fds[1]);
+}
+
+TEST(AdmissionTest, ReapFinishedCollectsDoneSessions) {
+  SessionScheduler sched(SchedulerLimits{});
+  for (int i = 0; i < 3; ++i) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[1]);
+    ASSERT_TRUE(sched.launch(fds[0], [](int fd) { ::close(fd); }));
+  }
+  // Idempotent and safe however many sessions have finished by now.
+  sched.reap_finished();
+  sched.reap_finished();
+  sched.drain();
+}
+
+}  // namespace
+}  // namespace defrag::service

@@ -1,0 +1,190 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <ios>
+#include <string>
+
+#include "common/bytes.h"
+#include "service/wire.h"
+#include "testing/data.h"
+
+namespace defrag::service {
+namespace {
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  HelloRequest req;
+  req.tenant = "acme";
+  const Bytes payload = encode(req);
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kHello);
+  const HelloRequest back = parse_hello(frame_body(ByteView(payload)));
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.tenant, "acme");
+}
+
+TEST(ProtocolTest, BackupBeginAndRestoreRoundTrip) {
+  BackupBeginRequest begin;
+  begin.label = "nightly/home";
+  const Bytes b = encode(begin);
+  EXPECT_EQ(parse_backup_begin(frame_body(ByteView(b))).label, "nightly/home");
+
+  RestoreRequest restore;
+  restore.backup_id = 17;
+  const Bytes r = encode(restore);
+  ASSERT_EQ(frame_type(ByteView(r)), FrameType::kRestore);
+  EXPECT_EQ(parse_restore(frame_body(ByteView(r))).backup_id, 17u);
+}
+
+TEST(ProtocolTest, BackupDoneRoundTrip) {
+  BackupDoneResponse resp;
+  resp.backup_id = 3;
+  resp.logical_bytes = 1 << 20;
+  resp.chunk_count = 129;
+  resp.unique_bytes = 900000;
+  resp.dup_bytes = resp.logical_bytes - resp.unique_bytes;
+  const Bytes payload = encode(resp);
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kBackupDone);
+  const BackupDoneResponse back = parse_backup_done(frame_body(ByteView(payload)));
+  EXPECT_EQ(back.backup_id, 3u);
+  EXPECT_EQ(back.logical_bytes, 1u << 20);
+  EXPECT_EQ(back.chunk_count, 129u);
+  EXPECT_EQ(back.unique_bytes, 900000u);
+  EXPECT_EQ(back.dup_bytes, resp.dup_bytes);
+}
+
+TEST(ProtocolTest, RestoreDoneRoundTrip) {
+  RestoreDoneResponse resp;
+  resp.logical_bytes = 42;
+  resp.container_loads = 7;
+  const Bytes payload = encode(resp);
+  const RestoreDoneResponse back =
+      parse_restore_done(frame_body(ByteView(payload)));
+  EXPECT_EQ(back.logical_bytes, 42u);
+  EXPECT_EQ(back.container_loads, 7u);
+}
+
+TEST(ProtocolTest, BackupListRoundTrip) {
+  BackupListResponse resp;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    BackupInfo info;
+    info.id = i;
+    info.label = "gen-" + std::to_string(i);
+    info.logical_bytes = 1000u * i;
+    resp.backups.push_back(info);
+  }
+  const Bytes payload = encode(resp);
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kBackupList);
+  const BackupListResponse back =
+      parse_backup_list(frame_body(ByteView(payload)));
+  ASSERT_EQ(back.backups.size(), 3u);
+  EXPECT_EQ(back.backups[1].id, 2u);
+  EXPECT_EQ(back.backups[1].label, "gen-2");
+  EXPECT_EQ(back.backups[2].logical_bytes, 3000u);
+}
+
+TEST(ProtocolTest, DataFramesCarryRawBytes) {
+  const Bytes chunk = testing::random_bytes(4096, 42);
+  const Bytes payload = encode_backup_data(ByteView(chunk));
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kBackupData);
+  const ByteView body = frame_body(ByteView(payload));
+  ASSERT_EQ(body.size(), chunk.size());
+  EXPECT_TRUE(std::equal(body.begin(), body.end(), chunk.begin()));
+
+  const Bytes rd = encode_restore_data(ByteView(chunk));
+  EXPECT_EQ(frame_type(ByteView(rd)), FrameType::kRestoreData);
+  EXPECT_EQ(frame_body(ByteView(rd)).size(), chunk.size());
+}
+
+TEST(ProtocolTest, ReasonAndMetricsRoundTrip) {
+  const Bytes rej = encode_rejected("tenant at max concurrent sessions");
+  ASSERT_EQ(frame_type(ByteView(rej)), FrameType::kRejected);
+  EXPECT_EQ(parse_reason(frame_body(ByteView(rej))),
+            "tenant at max concurrent sessions");
+
+  const Bytes err = encode_error("unknown backup id");
+  ASSERT_EQ(frame_type(ByteView(err)), FrameType::kError);
+  EXPECT_EQ(parse_reason(frame_body(ByteView(err))), "unknown backup id");
+
+  const std::string json = "{\"schema\": \"defrag.metrics.v1\"}";
+  const Bytes m = encode_metrics_json(json);
+  ASSERT_EQ(frame_type(ByteView(m)), FrameType::kMetricsJson);
+  EXPECT_EQ(parse_metrics_json(frame_body(ByteView(m))), json);
+}
+
+TEST(ProtocolTest, EmptyPayloadRejected) {
+  EXPECT_THROW(frame_type(ByteView()), WireError);
+}
+
+TEST(ProtocolTest, UnknownFrameTypeRejected) {
+  constexpr std::uint8_t kBadTypes[] = {0x00, 0x09, 0x50, 0x80, 0x89, 0xff};
+  for (const std::uint8_t type : kBadTypes) {
+    const Bytes payload = {type};
+    EXPECT_THROW(frame_type(ByteView(payload)), WireError)
+        << "type 0x" << std::hex << int{type};
+  }
+}
+
+TEST(ProtocolTest, EmptyTenantRejected) {
+  HelloRequest req;
+  req.tenant = "";
+  const Bytes payload = encode(req);
+  EXPECT_THROW(parse_hello(frame_body(ByteView(payload))), WireError);
+}
+
+// Every truncation of a valid body must throw WireError — never read out
+// of bounds, never silently zero-fill.
+TEST(ProtocolTest, TruncatedBodiesThrow) {
+  HelloRequest hello;
+  hello.tenant = "acme";
+  BackupDoneResponse done;
+  done.backup_id = 1;
+  RestoreRequest restore;
+  restore.backup_id = 9;
+  const Bytes payloads[] = {encode(hello), encode(done), encode(restore)};
+  for (const Bytes& payload : payloads) {
+    const ByteView body = frame_body(ByteView(payload));
+    for (std::size_t n = 0; n < body.size(); ++n) {
+      const ByteView truncated = body.subspan(0, n);
+      switch (frame_type(ByteView(payload))) {
+        case FrameType::kHello:
+          EXPECT_THROW(parse_hello(truncated), WireError) << n;
+          break;
+        case FrameType::kBackupDone:
+          EXPECT_THROW(parse_backup_done(truncated), WireError) << n;
+          break;
+        default:
+          EXPECT_THROW(parse_restore(truncated), WireError) << n;
+          break;
+      }
+    }
+  }
+}
+
+TEST(ProtocolTest, TrailingBytesThrow) {
+  RestoreRequest restore;
+  restore.backup_id = 9;
+  Bytes payload = encode(restore);
+  payload.push_back(0);
+  EXPECT_THROW(parse_restore(frame_body(ByteView(payload))), WireError);
+
+  Bytes empty = encode_empty(FrameType::kList);
+  empty.push_back(0);
+  EXPECT_THROW(parse_empty(frame_body(ByteView(empty))), WireError);
+  EXPECT_NO_THROW(
+      parse_empty(frame_body(ByteView(encode_empty(FrameType::kList)))));
+}
+
+// A hostile BACKUP_LIST count prefix far larger than the body must be
+// rejected as truncation without pre-allocating the claimed count.
+TEST(ProtocolTest, HostileListCountRejected) {
+  Bytes body;
+  WireWriter w(body);
+  w.u32(0x7fffffffu);  // claims ~2B entries, provides none
+  EXPECT_THROW(parse_backup_list(ByteView(body)), WireError);
+}
+
+}  // namespace
+}  // namespace defrag::service

@@ -1,0 +1,111 @@
+#include "service/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace defrag::service {
+namespace {
+
+TEST(WireTest, RoundTripAllPrimitives) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u8(0x42);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.str("tenant-a");
+  const Bytes tail = {1, 2, 3};
+  w.raw(ByteView(tail));
+
+  WireReader r{ByteView(buf)};
+  EXPECT_EQ(r.u8(), 0x42);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.str(), "tenant-a");
+  const ByteView rest = r.rest();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 1);
+  EXPECT_NO_THROW(r.done());
+}
+
+TEST(WireTest, IntegersAreLittleEndian) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(0x04030201u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(WireTest, EmptyStringRoundTrips) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.str("");
+  WireReader r{ByteView(buf)};
+  EXPECT_EQ(r.str(), "");
+  EXPECT_NO_THROW(r.done());
+}
+
+TEST(WireTest, TruncatedReadsThrow) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(7);
+  {
+    WireReader r{ByteView(buf).subspan(0, 3)};
+    EXPECT_THROW(r.u32(), WireError);
+  }
+  {
+    WireReader r{ByteView(buf)};
+    r.u32();
+    EXPECT_THROW(r.u8(), WireError);
+    EXPECT_THROW(r.u64(), WireError);
+  }
+}
+
+TEST(WireTest, StringLengthBeyondBodyThrows) {
+  // A length prefix claiming more bytes than the body holds must be
+  // rejected as truncation, not read out of bounds.
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(100);  // claims a 100-byte string...
+  w.u8('x');   // ...but only one byte follows
+  WireReader r{ByteView(buf)};
+  EXPECT_THROW(r.str(), WireError);
+}
+
+TEST(WireTest, OversizeStringLengthThrows) {
+  // Hostile length prefix over the wire-string cap: rejected before any
+  // allocation is attempted.
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(kMaxWireString + 1);
+  WireReader r{ByteView(buf)};
+  EXPECT_THROW(r.str(), WireError);
+}
+
+TEST(WireTest, OversizeStringWriteThrows) {
+  Bytes buf;
+  WireWriter w(buf);
+  const std::string big(kMaxWireString + 1, 'a');
+  EXPECT_THROW(w.str(big), WireError);
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u8(1);
+  w.u8(2);
+  WireReader r{ByteView(buf)};
+  r.u8();
+  EXPECT_THROW(r.done(), WireError);
+  r.u8();
+  EXPECT_NO_THROW(r.done());
+}
+
+}  // namespace
+}  // namespace defrag::service

@@ -18,9 +18,13 @@
 // writes a Chrome trace-event file loadable at https://ui.perfetto.dev.
 // `--parallel-ingest N` switches backup to the multi-stream ingest fast
 // path (N concurrent streams per wave; see core/parallel_ingest.h), with
-// `--pipeline-workers W` enabling each stream's SPSC fingerprint pipeline.
+// `--pipeline-workers W` enabling each stream's SPSC fingerprint pipeline
+// and `--verify` restoring every generation from its per-stream recipe.
 // `trace` records the series' chunk sequence to a portable .dftr file;
 // `analyze` reports dedup statistics of any such file.
+//
+// Option/command plumbing is the shared service/cli_config.h layer, the
+// same one defrag-serve and defrag-client parse with.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +39,8 @@
 #include "core/dedup_system.h"
 #include "core/parallel_ingest.h"
 #include "dedup/integrity.h"
+#include "dedup/restore_strategies.h"
+#include "service/cli_config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/compactor.h"
@@ -44,50 +50,7 @@
 namespace {
 
 using namespace defrag;
-
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-  bool flag(const std::string& name) const { return options.contains(name); }
-  std::string get(const std::string& name, const std::string& fallback) const {
-    auto it = options.find(name);
-    return it == options.end() ? fallback : it->second;
-  }
-};
-
-std::optional<Args> parse(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string token = argv[i];
-    if (token.rfind("--", 0) != 0) return std::nullopt;
-    token = token.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      args.options[token] = argv[++i];
-    } else {
-      args.options[token] = "";  // boolean flag
-    }
-  }
-  return args;
-}
-
-std::optional<EngineKind> engine_by_name(const std::string& name) {
-  if (name == "ddfs") return EngineKind::kDdfs;
-  if (name == "silo") return EngineKind::kSilo;
-  if (name == "sparse") return EngineKind::kSparse;
-  if (name == "defrag") return EngineKind::kDefrag;
-  if (name == "cbr") return EngineKind::kCbr;
-  return std::nullopt;
-}
-
-workload::FsParams fs_from(const Args& args) {
-  workload::FsParams fs;
-  fs.initial_files =
-      static_cast<std::uint32_t>(std::stoul(args.get("files", "48")));
-  fs.mean_file_bytes = std::stoull(args.get("file-bytes", "262144"));
-  return fs;
-}
+using cli::Args;
 
 int cmd_engines() {
   std::printf("available engines (--engine <name>):\n");
@@ -102,31 +65,29 @@ int cmd_engines() {
 /// `backup --parallel-ingest N`: the multi-stream ingest fast path. The
 /// series' generations are ingested in waves of N concurrent streams
 /// through one shared ParallelIngestor (lock-striped index + per-stream
-/// container appenders). Ingest-only: it reports dedup totals and
-/// wall-clock throughput, not recipes/restore — `--verify`, `--scrub` and
-/// `--gc-keep` do not apply here.
+/// container appenders). `--verify` restores every generation from its
+/// per-stream recipe (the same recipe machinery defrag-serve commits) and
+/// checks it bit-for-bit; `--scrub` and `--gc-keep` remain engine-path
+/// features.
 int cmd_backup_parallel(const Args& args) {
-  const auto streams_per_wave = static_cast<std::size_t>(
-      std::stoul(args.get("parallel-ingest", "2")));
+  const std::size_t streams_per_wave = args.get_size("parallel-ingest", 2);
   if (streams_per_wave < 1) {
     std::fprintf(stderr, "--parallel-ingest needs N >= 1\n");
     return 2;
   }
-  const auto generations =
-      static_cast<std::uint32_t>(std::stoul(args.get("generations", "10")));
-  const auto users =
-      static_cast<std::uint32_t>(std::stoul(args.get("users", "1")));
-  const std::uint64_t seed = std::stoull(args.get("seed", "42"));
+  const std::uint32_t generations = args.get_u32("generations", 10);
+  const std::uint32_t users = args.get_u32("users", 1);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const bool verify = args.flag("verify");
   const std::string metrics_path = args.get("metrics-json", "");
   const std::string trace_path = args.get("trace-out", "");
   if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   ParallelIngestParams params;
-  params.pipeline_workers = static_cast<std::size_t>(
-      std::stoul(args.get("pipeline-workers", "0")));
+  params.pipeline_workers = args.get_size("pipeline-workers", 0);
   ParallelIngestor ingestor(params);
 
-  auto fs = fs_from(args);
+  auto fs = cli::fs_from(args);
   workload::SingleUserSeries single(seed, fs);
   workload::MultiUserSeries multi(seed, fs);
 
@@ -134,6 +95,8 @@ int cmd_backup_parallel(const Args& args) {
   std::uint64_t logical_total = 0;
   std::uint64_t unique_total = 0;
   double wall_total = 0.0;
+  std::vector<Sha256::Digest> digests;
+  std::vector<Recipe> all_recipes;
   std::uint32_t done = 0;
   std::uint32_t wave = 0;
   while (done < generations) {
@@ -145,9 +108,14 @@ int cmd_backup_parallel(const Args& args) {
     }
     std::vector<ByteView> views;
     views.reserve(backups.size());
-    for (const workload::Backup& b : backups) views.emplace_back(b.stream);
+    for (const workload::Backup& b : backups) {
+      views.emplace_back(b.stream);
+      if (verify) digests.push_back(Sha256::hash(b.stream));
+    }
 
-    const ParallelIngestResult r = ingestor.ingest(views);
+    std::vector<Recipe> wave_recipes;
+    const ParallelIngestResult r =
+        ingestor.ingest(views, verify ? &wave_recipes : nullptr);
     for (const StreamIngestStats& st : r.streams) {
       t.add_row({Table::integer(wave),
                  Table::integer(static_cast<long long>(st.stream)),
@@ -159,8 +127,27 @@ int cmd_backup_parallel(const Args& args) {
     logical_total += r.logical_bytes;
     unique_total += r.unique_bytes;
     wall_total += r.wall_seconds;
+    for (Recipe& recipe : wave_recipes) {
+      all_recipes.push_back(std::move(recipe));
+    }
   }
   t.print();
+
+  if (verify) {
+    const RestoreOptions options;
+    for (std::size_t i = 0; i < all_recipes.size(); ++i) {
+      Bytes restored;
+      restore_with_strategy(ingestor.store(), all_recipes[i], params.disk,
+                            options, &restored);
+      if (Sha256::hash(restored) != digests[i]) {
+        std::fprintf(stderr, "VERIFY FAILED at generation %zu\n", i + 1);
+        return 1;
+      }
+    }
+    std::printf("verify: all %u generations restored bit-for-bit from "
+                "parallel-ingest recipes\n",
+                generations);
+  }
 
   std::printf(
       "\nparallel ingest (%zu streams/wave): %s logical -> %s unique, "
@@ -199,7 +186,7 @@ int cmd_backup_parallel(const Args& args) {
 
 int cmd_backup(const Args& args) {
   if (args.flag("parallel-ingest")) return cmd_backup_parallel(args);
-  const auto kind = engine_by_name(args.get("engine", "defrag"));
+  const auto kind = cli::engine_by_name(args.get("engine", "defrag"));
   if (!kind) {
     std::fprintf(stderr, "unknown engine; try `defrag-cli engines`\n");
     return 2;
@@ -218,7 +205,7 @@ int cmd_backup(const Args& args) {
   cfg.defrag_alpha = std::stod(args.get("alpha", "0.1"));
   DedupSystem sys(*kind, cfg);
 
-  auto fs = fs_from(args);
+  auto fs = cli::fs_from(args);
   workload::SingleUserSeries single(seed, fs);
   workload::MultiUserSeries multi(seed, fs);
 
@@ -341,7 +328,7 @@ int cmd_trace(const Args& args) {
   }
   workload::TraceWriter writer(out);
 
-  auto fs = fs_from(args);
+  auto fs = cli::fs_from(args);
   workload::SingleUserSeries single(seed, fs);
   workload::MultiUserSeries multi(seed, fs);
   GearChunker chunker;
@@ -393,7 +380,7 @@ int cmd_analyze(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = parse(argc, argv);
+  const auto args = cli::parse_args(argc, argv);
   if (!args) {
     std::fprintf(stderr,
                  "usage: defrag-cli <backup|trace|analyze|engines> "

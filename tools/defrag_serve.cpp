@@ -1,0 +1,77 @@
+// defrag-serve: the multi-tenant backup service daemon.
+//
+//   defrag-serve run --socket PATH [--max-sessions N] [--per-tenant N]
+//                    [--pipeline-workers W] [--index-shards N]
+//
+// Binds an AF_UNIX socket and serves the framed protocol of
+// src/service/protocol.h (see docs/SERVICE.md): any number of tenants,
+// each with an isolated backup namespace, all deduplicating into one
+// shared container store. Concurrency is bounded by --max-sessions
+// globally and --per-tenant per tenant; over-limit HELLOs get a clean
+// REJECTED and the connection closes.
+//
+// SIGINT/SIGTERM (or a client SHUTDOWN request) begin drain-and-shutdown:
+// no new sessions, in-flight operations complete, every session thread is
+// joined, then the process exits 0. The signal handler is one
+// async-signal-safe write() on the server's self-pipe.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "service/cli_config.h"
+#include "service/server.h"
+#include "service/socket.h"
+
+namespace {
+
+defrag::service::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // one write(2): safe
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: defrag-serve run --socket PATH [--max-sessions N]\n"
+               "                    [--per-tenant N] [--pipeline-workers W]\n"
+               "                    [--index-shards N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace defrag;
+  const auto args = cli::parse_args(argc, argv);
+  if (!args || args->command != "run") return usage();
+
+  service::ServerConfig config;
+  config.socket_path = args->get("socket", "/tmp/defrag-serve.sock");
+  config.limits.max_sessions = args->get_size("max-sessions", 8);
+  config.limits.max_sessions_per_tenant = args->get_size("per-tenant", 4);
+  config.ingest.pipeline_workers = args->get_size("pipeline-workers", 0);
+  config.ingest.index_shards =
+      args->get_size("index-shards", config.ingest.index_shards);
+
+  try {
+    service::Server server(config);
+    g_server = &server;
+    struct sigaction sa = {};
+    sa.sa_handler = handle_stop_signal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    std::printf("defrag-serve: listening on %s (max %zu sessions, %zu per "
+                "tenant)\n",
+                server.socket_path().c_str(), config.limits.max_sessions,
+                config.limits.max_sessions_per_tenant);
+    std::fflush(stdout);
+    server.run();
+    g_server = nullptr;
+    std::printf("defrag-serve: drained, exiting\n");
+  } catch (const service::SocketError& e) {
+    std::fprintf(stderr, "defrag-serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -54,6 +54,8 @@ DEFAULT_DAG = {
     "dedup": {"common", "obs", "chunking", "storage", "index"},
     "core": {"common", "obs", "chunking", "compress", "storage", "index",
              "dedup", "workload"},
+    "service": {"common", "obs", "chunking", "compress", "storage", "index",
+                "dedup", "workload", "core"},
 }
 
 INCLUDE_RE = re.compile(r"#include\s+\"([^\"]+)\"")
