@@ -24,6 +24,8 @@
 //   index_shard     (20)  ShardedPagedIndex::Shard::mu — one stripe each
 //   metrics_registry(30)  MetricsRegistry::mu_ — name->slot map
 //   trace_recorder  (40)  TraceRecorder::mu_ — event log + epoch
+//   log_sink        (45)  obs::Logger::mu_ — serializes sink writes; a log
+//                         line may be emitted from under any lock above
 //   thread_pool     (50)  ThreadPool::mu_ — task queue (leaf: submit() may
 //                         be reached from under any data-plane lock)
 //
@@ -63,6 +65,7 @@ inline constexpr Rank kContainerStore{"container_store", 10};
 inline constexpr Rank kIndexShard{"index_shard", 20};
 inline constexpr Rank kMetricsRegistry{"metrics_registry", 30};
 inline constexpr Rank kTraceRecorder{"trace_recorder", 40};
+inline constexpr Rank kLogSink{"log_sink", 45};
 inline constexpr Rank kThreadPool{"thread_pool", 50};
 
 /// Whether the validator is checking acquisitions on this process.

@@ -1,0 +1,158 @@
+// Structured, leveled logging for the long-running tools (defrag-serve,
+// defrag-top): one process-wide Logger emitting one line per event, either
+// human-readable (`ts LEVEL event key=value ...`) or JSON-lines, to a
+// pluggable sink (stderr by default, flushed per line so readiness lines
+// are never lost in a pipe buffer).
+//
+// Cost model mirrors the trace recorder: a disarmed call site is one
+// relaxed atomic load and a compare — the DEFRAG_LOG_* macros check
+// should_log() BEFORE evaluating any field expression, so debug logging
+// baked into the service loop is free in production. An armed call takes
+// the sink mutex (rank log_sink, see common/lock_order.h), so lines from
+// concurrent sessions never interleave mid-line.
+//
+// Request correlation: when a obs::RequestScope is active on the calling
+// thread (the service session loop installs one per admitted session), the
+// logger automatically appends `rid=<id>` to every line, so one grep pulls
+// a session's full story out of a busy daemon's log.
+//
+// Rate limiting: set_rate_limit(N, window) caps each *event name* at N
+// lines per window; dropped lines are counted and reported as a
+// `suppressed=<count>` field on that event's first line of a later window,
+// so a log-storm can never hide its own existence.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/sync.h"
+
+namespace defrag::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // set_level(kOff) silences everything; not a line level
+};
+
+std::string_view to_string(LogLevel level);
+
+/// "debug" | "info" | "warn" | "error" | "off" -> level; nullopt otherwise.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// One key=value pair. Values keep their JSON shape: strings are quoted,
+/// integers/doubles/bools are bare, so JSON-lines output stays typed.
+struct LogField {
+  std::string_view key;
+  std::string value;
+  bool is_string = true;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false"), is_string(false) {}
+  LogField(std::string_view k, double v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string_view k, T v)
+      : key(k), value(std::to_string(v)), is_string(false) {}
+};
+
+class Logger {
+ public:
+  /// A sink receives one fully formatted line (no trailing newline) per
+  /// event while the logger mutex is held — implementations must not call
+  /// back into the logger or acquire lower-ranked locks.
+  using Sink = std::function<void(std::string_view line)>;
+
+  Logger();
+
+  /// The process-wide logger the DEFRAG_LOG_* macros feed. Never destroyed
+  /// (same lifetime rule as MetricsRegistry::global()).
+  static Logger& global();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// The disarmed-fast-path check: one relaxed load + compare.
+  bool should_log(LogLevel level) const {
+    return level != LogLevel::kOff &&
+           static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// JSON-lines output instead of the human format.
+  void set_json(bool json) { json_.store(json, std::memory_order_relaxed); }
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+
+  /// Replace the sink (nullptr restores the default flushed-stderr sink).
+  /// Tests capture lines this way; the daemon leaves the default in place.
+  void set_sink(Sink sink);
+
+  /// At most `max_per_window` lines per event name per window;
+  /// 0 disables limiting (the default). See the header comment.
+  void set_rate_limit(std::uint32_t max_per_window, double window_seconds);
+
+  /// Emit one line (subject to level + rate limit). Prefer the macros:
+  /// they skip field construction when the level is disabled.
+  void log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields);
+  void log(LogLevel level, std::string_view event) { log(level, event, {}); }
+
+ private:
+  struct RateWindow {
+    std::chrono::steady_clock::time_point start{};
+    std::uint32_t emitted = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  void emit_locked(LogLevel level, std::string_view event,
+                   std::initializer_list<LogField> fields,
+                   std::uint64_t suppressed) DEFRAG_REQUIRES(mu_);
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<bool> json_{false};
+  // Rank kLogSink: logging is legal under any data-plane or service lock
+  // (45 is below only thread_pool); the sink itself acquires nothing.
+  mutable Mutex mu_{lock_order::kLogSink};
+  Sink sink_ DEFRAG_GUARDED_BY(mu_);
+  std::uint32_t rate_max_ DEFRAG_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::duration rate_window_ DEFRAG_GUARDED_BY(mu_){};
+  std::map<std::string, RateWindow, std::less<>> windows_
+      DEFRAG_GUARDED_BY(mu_);
+};
+
+// Call-site macros: the level check runs BEFORE the field expressions are
+// evaluated, so a disabled site costs one load + branch regardless of how
+// expensive its fields are to build.
+#define DEFRAG_LOG_AT(level, event, ...)                                \
+  do {                                                                  \
+    if (::defrag::obs::Logger::global().should_log(level)) {            \
+      ::defrag::obs::Logger::global().log(level, event, {__VA_ARGS__}); \
+    }                                                                   \
+  } while (0)
+
+#define DEFRAG_LOG_DEBUG(event, ...) \
+  DEFRAG_LOG_AT(::defrag::obs::LogLevel::kDebug, event __VA_OPT__(, ) __VA_ARGS__)
+#define DEFRAG_LOG_INFO(event, ...) \
+  DEFRAG_LOG_AT(::defrag::obs::LogLevel::kInfo, event __VA_OPT__(, ) __VA_ARGS__)
+#define DEFRAG_LOG_WARN(event, ...) \
+  DEFRAG_LOG_AT(::defrag::obs::LogLevel::kWarn, event __VA_OPT__(, ) __VA_ARGS__)
+#define DEFRAG_LOG_ERROR(event, ...) \
+  DEFRAG_LOG_AT(::defrag::obs::LogLevel::kError, event __VA_OPT__(, ) __VA_ARGS__)
+
+}  // namespace defrag::obs

@@ -1,0 +1,20 @@
+#include "obs/request_context.h"
+
+#include <cstdint>
+
+namespace defrag::obs {
+namespace {
+
+thread_local std::uint64_t t_current_rid = 0;
+
+}  // namespace
+
+RequestScope::RequestScope(std::uint64_t rid) noexcept : prev_(t_current_rid) {
+  t_current_rid = rid;
+}
+
+RequestScope::~RequestScope() { t_current_rid = prev_; }
+
+std::uint64_t RequestScope::current_rid() noexcept { return t_current_rid; }
+
+}  // namespace defrag::obs

@@ -1,0 +1,37 @@
+// Request-scoped correlation id, the spine of end-to-end tracing.
+//
+// The service mints one id per session at HELLO (echoed to the client in
+// the protocol-v2 HELLO_OK response) and installs a RequestScope on the
+// session thread. Everything that runs downstream on that thread — the
+// tenant catalog commit, ParallelIngestor::ingest_stream, ContainerStore
+// seals — picks the id up implicitly: TraceRecorder tags every span with
+// it and Logger appends `rid=` to every line, with zero plumbing through
+// the data-plane signatures. This works because a service session executes
+// its data plane on its own thread (the service runs the pipeline with
+// in-thread workers); code that hops threads must install a new scope on
+// the far side if it wants attribution to follow.
+//
+// Scopes nest: an inner scope shadows the outer id and restores it on
+// destruction, so a utility that briefly re-attributes work (or a test
+// running sessions back-to-back on one thread) cannot leak its id.
+#pragma once
+
+#include <cstdint>
+
+namespace defrag::obs {
+
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t rid) noexcept;
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  /// The innermost active scope's id on the calling thread; 0 when none.
+  static std::uint64_t current_rid() noexcept;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace defrag::obs

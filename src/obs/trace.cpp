@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <ostream>
+#include <set>
 
 #include "obs/json_writer.h"
+#include "obs/request_context.h"
 
 namespace defrag::obs {
 
@@ -15,6 +17,10 @@ std::uint32_t current_tid() {
   if (tid == 0) tid = next.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }
+
+// Synthetic per-request track id, far above any real small-int tid so the
+// two namespaces cannot collide in a trace viewer.
+std::uint64_t rid_track(std::uint64_t rid) { return 100000 + rid; }
 
 }  // namespace
 
@@ -59,6 +65,7 @@ void TraceRecorder::record_complete(std::string_view name,
   e.category = category;
   e.phase = 'X';
   e.tid = current_tid();
+  e.rid = RequestScope::current_rid();
   MutexLock lock(mu_);
   e.ts_us = us_since_epoch(begin);
   e.dur_us = us_since_epoch(end) - e.ts_us;
@@ -73,6 +80,7 @@ void TraceRecorder::record_instant(std::string_view name,
   e.category = category;
   e.phase = 'i';
   e.tid = current_tid();
+  e.rid = RequestScope::current_rid();
   MutexLock lock(mu_);
   e.ts_us = us_since_epoch(Clock::now());
   events_.push_back(std::move(e));
@@ -97,6 +105,18 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
   MutexLock lock(mu_);
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
+  // Name each request's synthetic track so the viewer groups by rid.
+  std::set<std::uint64_t> rids;
+  for (const TraceEvent& e : events_) {
+    if (e.rid != 0) rids.insert(e.rid);
+  }
+  for (const std::uint64_t rid : rids) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": "
+       << rid_track(rid) << ", \"args\": {\"name\": \"rid " << rid << "\"}}";
+  }
   for (const TraceEvent& e : events_) {
     if (!first) os << ",";
     first = false;
@@ -104,7 +124,14 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
        << ", \"cat\": " << json_quote(e.category) << ", \"ph\": \"" << e.phase
        << "\", \"ts\": " << e.ts_us;
     if (e.phase == 'X') os << ", \"dur\": " << e.dur_us;
-    os << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+    os << ", \"pid\": 1, \"tid\": ";
+    if (e.rid != 0) {
+      os << rid_track(e.rid) << ", \"args\": {\"rid\": " << e.rid
+         << ", \"thread\": " << e.tid << "}";
+    } else {
+      os << e.tid;
+    }
+    os << "}";
   }
   os << "\n]}\n";
 }

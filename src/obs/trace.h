@@ -30,6 +30,7 @@ struct TraceEvent {
   std::uint64_t ts_us = 0;   // since recorder epoch
   std::uint64_t dur_us = 0;  // 'X' only
   std::uint32_t tid = 0;
+  std::uint64_t rid = 0;     // request id from obs::RequestScope; 0 = none
 };
 
 class TraceRecorder {
@@ -58,6 +59,10 @@ class TraceRecorder {
   std::vector<TraceEvent> events() const;
 
   /// {"traceEvents": [...]} — the Chrome trace-event JSON object format.
+  /// Events carrying a request id are regrouped onto one synthetic track
+  /// per rid (named "rid <N>" via thread_name metadata), so Perfetto shows
+  /// each service session end-to-end regardless of which OS thread ran it;
+  /// the physical thread survives in each event's args.thread.
   void write_chrome_json(std::ostream& os) const;
 
  private:

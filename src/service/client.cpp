@@ -25,7 +25,7 @@ Client::Client(const std::string& socket_path, const std::string& tenant)
   HelloRequest hello;
   hello.tenant = tenant_;
   conn_.send_frame(encode(hello));
-  expect(FrameType::kOk);
+  session_id_ = parse_hello_ok(expect(FrameType::kHelloOk)).session_id;
 }
 
 Bytes Client::expect(FrameType expected) {
@@ -97,9 +97,48 @@ std::string Client::metrics_json() {
   return parse_metrics_json(expect(FrameType::kMetricsJson));
 }
 
+StatsResponse Client::stats() {
+  conn_.send_frame(encode_empty(FrameType::kStats));
+  return parse_stats(expect(FrameType::kStatsResult));
+}
+
+HealthResponse Client::health() {
+  conn_.send_frame(encode_empty(FrameType::kHealth));
+  return parse_health(expect(FrameType::kHealthResult));
+}
+
 void Client::shutdown_server() {
   conn_.send_frame(encode_empty(FrameType::kShutdown));
   expect(FrameType::kOk);
+}
+
+namespace {
+
+Bytes one_shot(const std::string& socket_path, FrameType request,
+               FrameType expected) {
+  Conn conn = connect_unix(socket_path);
+  conn.send_frame(encode_empty(request));
+  const std::optional<Bytes> payload = conn.recv_frame();
+  if (!payload.has_value()) {
+    throw WireError("server closed the connection mid-request");
+  }
+  if (frame_type(*payload) != expected) {
+    throw WireError("unexpected response " + to_string(frame_type(*payload)) +
+                    ", wanted " + to_string(expected));
+  }
+  return to_bytes(frame_body(*payload));
+}
+
+}  // namespace
+
+StatsResponse fetch_stats(const std::string& socket_path) {
+  return parse_stats(one_shot(socket_path, FrameType::kStats,
+                              FrameType::kStatsResult));
+}
+
+HealthResponse fetch_health(const std::string& socket_path) {
+  return parse_health(one_shot(socket_path, FrameType::kHealth,
+                               FrameType::kHealthResult));
 }
 
 }  // namespace defrag::service

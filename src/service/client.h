@@ -34,6 +34,7 @@ class Client {
  public:
   /// Connect and HELLO as `tenant`. Throws SocketError (no server),
   /// RejectedError (admission refused) or WireError (protocol breakage).
+  /// On success the server's HELLO_OK id is available via session_id().
   Client(const std::string& socket_path, const std::string& tenant);
   Client(Client&&) noexcept = default;
   Client(const Client&) = delete;
@@ -51,8 +52,18 @@ class Client {
   /// The server's defrag.metrics.v1 JSON export.
   std::string metrics_json();
 
+  /// Live daemon statistics (uptime, session counters, per-tenant rows).
+  StatsResponse stats();
+
+  /// Liveness/readiness probe.
+  HealthResponse health();
+
   /// Ask the server to drain and exit (server ACKs before draining).
   void shutdown_server();
+
+  /// The server-minted request id for this session — the rid on every
+  /// daemon-side log line, trace span and slow-request record it causes.
+  std::uint64_t session_id() const { return session_id_; }
 
   const std::string& tenant() const { return tenant_; }
   /// Close the connection (also releases this session's admission slot
@@ -66,6 +77,14 @@ class Client {
 
   Conn conn_;
   std::string tenant_;
+  std::uint64_t session_id_ = 0;
 };
+
+/// One-shot introspection over a fresh connection, no HELLO: the server
+/// answers STATS/HEALTH without admission, so these work against a full or
+/// draining daemon (defrag-top polls this way). Throws SocketError when no
+/// server is listening, WireError on protocol breakage.
+StatsResponse fetch_stats(const std::string& socket_path);
+HealthResponse fetch_health(const std::string& socket_path);
 
 }  // namespace defrag::service

@@ -1,0 +1,82 @@
+#include "service/introspect.h"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/tenant.h"
+
+namespace defrag::service {
+
+namespace {
+
+std::uint64_t uptime_us(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now <= start) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - start)
+          .count());
+}
+
+}  // namespace
+
+StatsResponse collect_stats(const SessionScheduler& scheduler,
+                            const TenantCatalog& catalog,
+                            const SchedulerLimits& limits,
+                            std::chrono::steady_clock::time_point start) {
+  auto& reg = obs::MetricsRegistry::global();
+  StatsResponse s;
+  s.uptime_us = uptime_us(start);
+  s.active_sessions =
+      static_cast<std::uint32_t>(scheduler.active_sessions());
+  s.max_sessions = static_cast<std::uint32_t>(limits.max_sessions);
+  s.sessions_accepted = reg.counter("service.sessions_accepted").value();
+  s.sessions_rejected = reg.counter("service.sessions_rejected").value();
+  s.sessions_served = reg.counter("service.sessions_served").value();
+  s.backups = reg.counter("service.backups").value();
+  s.restores = reg.counter("service.restores").value();
+  s.bytes_ingested = reg.counter("service.bytes_ingested").value();
+  s.bytes_restored = reg.counter("service.bytes_restored").value();
+
+  // Catalog rows carry committed-backup totals; overlay live occupancy.
+  // A tenant with active sessions but no committed backup yet still gets a
+  // row — it is occupying admission slots.
+  s.tenants = catalog.rows();
+  std::map<std::string, std::size_t> active = scheduler.active_by_tenant();
+  for (TenantStatsRow& row : s.tenants) {
+    row.session_quota =
+        static_cast<std::uint32_t>(limits.max_sessions_per_tenant);
+    const auto it = active.find(row.tenant);
+    if (it != active.end()) {
+      row.active_sessions = static_cast<std::uint32_t>(it->second);
+      active.erase(it);
+    }
+  }
+  for (const auto& [tenant, count] : active) {
+    TenantStatsRow row;
+    row.tenant = tenant;
+    row.active_sessions = static_cast<std::uint32_t>(count);
+    row.session_quota =
+        static_cast<std::uint32_t>(limits.max_sessions_per_tenant);
+    s.tenants.push_back(std::move(row));
+  }
+  return s;
+}
+
+HealthResponse collect_health(const SessionScheduler& scheduler,
+                              std::chrono::steady_clock::time_point start) {
+  HealthResponse h;
+  h.serving = !scheduler.draining();
+  h.uptime_us = uptime_us(start);
+  h.active_sessions =
+      static_cast<std::uint32_t>(scheduler.active_sessions());
+  h.protocol_version = kProtocolVersion;
+  return h;
+}
+
+}  // namespace defrag::service

@@ -1,0 +1,30 @@
+// Live daemon introspection: assembles the STATS / HEALTH wire responses
+// from the control plane (scheduler + catalog) and the global metrics
+// registry. Pure read path — no state of its own, every source is sampled
+// under that source's lock, one at a time (never nested), so an
+// introspection request can run while sessions are mid-operation.
+//
+// The per-tenant rows report *occupancy*: admitted sessions over the
+// per-tenant quota. There is no admission queue to report a depth for —
+// defrag-serve rejects rather than queues (docs/SERVICE.md) — so occupancy
+// plus the rejected counter IS the saturation signal.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/tenant.h"
+
+namespace defrag::service {
+
+StatsResponse collect_stats(const SessionScheduler& scheduler,
+                            const TenantCatalog& catalog,
+                            const SchedulerLimits& limits,
+                            std::chrono::steady_clock::time_point start);
+
+HealthResponse collect_health(const SessionScheduler& scheduler,
+                              std::chrono::steady_clock::time_point start);
+
+}  // namespace defrag::service

@@ -12,7 +12,7 @@ namespace defrag::service {
 namespace {
 
 bool known_type(std::uint8_t v) {
-  return (v >= 0x01 && v <= 0x08) || (v >= 0x81 && v <= 0x88);
+  return (v >= 0x01 && v <= 0x0a) || (v >= 0x81 && v <= 0x8b);
 }
 
 Bytes with_type(FrameType t) {
@@ -34,6 +34,8 @@ std::string to_string(FrameType t) {
     case FrameType::kList: return "LIST";
     case FrameType::kMetrics: return "METRICS";
     case FrameType::kShutdown: return "SHUTDOWN";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kHealth: return "HEALTH";
     case FrameType::kOk: return "OK";
     case FrameType::kRejected: return "REJECTED";
     case FrameType::kError: return "ERROR";
@@ -42,6 +44,9 @@ std::string to_string(FrameType t) {
     case FrameType::kRestoreDone: return "RESTORE_DONE";
     case FrameType::kBackupList: return "BACKUP_LIST";
     case FrameType::kMetricsJson: return "METRICS_JSON";
+    case FrameType::kHelloOk: return "HELLO_OK";
+    case FrameType::kStatsResult: return "STATS_RESULT";
+    case FrameType::kHealthResult: return "HEALTH_RESULT";
   }
   return "UNKNOWN";
 }
@@ -107,6 +112,46 @@ Bytes encode(const BackupListResponse& m) {
     w.str(b.label);
     w.u64(b.logical_bytes);
   }
+  return payload;
+}
+
+Bytes encode(const HelloOkResponse& m) {
+  Bytes payload = with_type(FrameType::kHelloOk);
+  WireWriter(payload).u64(m.session_id);
+  return payload;
+}
+
+Bytes encode(const StatsResponse& m) {
+  Bytes payload = with_type(FrameType::kStatsResult);
+  WireWriter w(payload);
+  w.u64(m.uptime_us);
+  w.u32(m.active_sessions);
+  w.u32(m.max_sessions);
+  w.u64(m.sessions_accepted);
+  w.u64(m.sessions_rejected);
+  w.u64(m.sessions_served);
+  w.u64(m.backups);
+  w.u64(m.restores);
+  w.u64(m.bytes_ingested);
+  w.u64(m.bytes_restored);
+  w.u32(static_cast<std::uint32_t>(m.tenants.size()));
+  for (const TenantStatsRow& t : m.tenants) {
+    w.str(t.tenant);
+    w.u32(t.active_sessions);
+    w.u32(t.session_quota);
+    w.u64(t.backups);
+    w.u64(t.logical_bytes);
+  }
+  return payload;
+}
+
+Bytes encode(const HealthResponse& m) {
+  Bytes payload = with_type(FrameType::kHealthResult);
+  WireWriter w(payload);
+  w.u8(m.serving ? 1 : 0);
+  w.u64(m.uptime_us);
+  w.u32(m.active_sessions);
+  w.u32(m.protocol_version);
   return payload;
 }
 
@@ -205,6 +250,56 @@ BackupListResponse parse_backup_list(ByteView body) {
     b.logical_bytes = r.u64();
     m.backups.push_back(std::move(b));
   }
+  r.done();
+  return m;
+}
+
+HelloOkResponse parse_hello_ok(ByteView body) {
+  WireReader r(body);
+  HelloOkResponse m;
+  m.session_id = r.u64();
+  r.done();
+  return m;
+}
+
+StatsResponse parse_stats(ByteView body) {
+  WireReader r(body);
+  StatsResponse m;
+  m.uptime_us = r.u64();
+  m.active_sessions = r.u32();
+  m.max_sessions = r.u32();
+  m.sessions_accepted = r.u64();
+  m.sessions_rejected = r.u64();
+  m.sessions_served = r.u64();
+  m.backups = r.u64();
+  m.restores = r.u64();
+  m.bytes_ingested = r.u64();
+  m.bytes_restored = r.u64();
+  const std::uint32_t count = r.u32();
+  // Each row is at least 28 bytes (empty-string length + two u32 + two
+  // u64), so a hostile count cannot force an oversized reserve.
+  if (count > r.remaining() / 28) throw WireError("tenant row count too large");
+  m.tenants.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TenantStatsRow t;
+    t.tenant = r.str();
+    t.active_sessions = r.u32();
+    t.session_quota = r.u32();
+    t.backups = r.u64();
+    t.logical_bytes = r.u64();
+    m.tenants.push_back(std::move(t));
+  }
+  r.done();
+  return m;
+}
+
+HealthResponse parse_health(ByteView body) {
+  WireReader r(body);
+  HealthResponse m;
+  m.serving = r.u8() != 0;
+  m.uptime_us = r.u64();
+  m.active_sessions = r.u32();
+  m.protocol_version = r.u32();
   r.done();
   return m;
 }

@@ -1,9 +1,12 @@
 // defrag-serve message layer: typed requests/responses over wire.h frames.
 //
 // One session speaks a strict request/response protocol. The client opens
-// with HELLO (protocol version + tenant name); the server answers OK
-// (admitted) or REJECTED (admission control: server full, tenant quota,
-// draining). After admission the client issues operations:
+// with HELLO (protocol version + tenant name); the server answers HELLO_OK
+// (admitted, carrying the session's server-minted request id — the v2
+// field that lets a client correlate its connection with the daemon's
+// logs, traces and histograms) or REJECTED (admission control: server
+// full, tenant quota, draining). After admission the client issues
+// operations:
 //
 //   BACKUP_BEGIN label          -> OK
 //   BACKUP_DATA  bytes...       (repeat; the stream arrives in frames)
@@ -12,6 +15,15 @@
 //   LIST                        -> BACKUP_LIST (this tenant's catalog only)
 //   METRICS                     -> METRICS_JSON (defrag.metrics.v1)
 //   SHUTDOWN                    -> OK (server begins drain-and-shutdown)
+//
+// Two introspection requests are deliberately answerable *without* (or
+// before) admission, so monitoring never consumes an admission slot and
+// keeps working while the server is full or draining:
+//
+//   STATS                       -> STATS_RESULT (uptime, session counters,
+//                                  per-tenant occupancy rows)
+//   HEALTH                      -> HEALTH_RESULT (serving flag, uptime,
+//                                  active sessions, protocol version)
 //
 // Any malformed frame earns an ERROR response and the connection is
 // closed; ERROR is also the answer to well-formed but unservable requests
@@ -31,7 +43,7 @@ namespace defrag::service {
 
 /// Bumped on any incompatible frame/body change; HELLO carries it and the
 /// server rejects mismatches before anything else is parsed.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class FrameType : std::uint8_t {
   // Requests (client -> server).
@@ -43,6 +55,8 @@ enum class FrameType : std::uint8_t {
   kList = 0x06,
   kMetrics = 0x07,
   kShutdown = 0x08,
+  kStats = 0x09,
+  kHealth = 0x0a,
   // Responses (server -> client); high bit set.
   kOk = 0x81,
   kRejected = 0x82,
@@ -52,6 +66,9 @@ enum class FrameType : std::uint8_t {
   kRestoreDone = 0x86,
   kBackupList = 0x87,
   kMetricsJson = 0x88,
+  kHelloOk = 0x89,
+  kStatsResult = 0x8a,
+  kHealthResult = 0x8b,
 };
 
 std::string to_string(FrameType t);
@@ -99,6 +116,44 @@ struct BackupListResponse {
   std::vector<BackupInfo> backups;
 };
 
+/// Answer to an admitted HELLO: the server-minted request/session id that
+/// tags every log line, trace span and slow-request record for this
+/// connection on the daemon side.
+struct HelloOkResponse {
+  std::uint64_t session_id = 0;
+};
+
+/// One tenant's live occupancy in a STATS_RESULT: how many of its
+/// `session_quota` admission slots are in use, plus catalog totals.
+struct TenantStatsRow {
+  std::string tenant;
+  std::uint32_t active_sessions = 0;
+  std::uint32_t session_quota = 0;
+  std::uint64_t backups = 0;
+  std::uint64_t logical_bytes = 0;
+};
+
+struct StatsResponse {
+  std::uint64_t uptime_us = 0;
+  std::uint32_t active_sessions = 0;
+  std::uint32_t max_sessions = 0;
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_rejected = 0;
+  std::uint64_t sessions_served = 0;
+  std::uint64_t backups = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t bytes_ingested = 0;
+  std::uint64_t bytes_restored = 0;
+  std::vector<TenantStatsRow> tenants;
+};
+
+struct HealthResponse {
+  bool serving = true;  // false once the server has begun draining
+  std::uint64_t uptime_us = 0;
+  std::uint32_t active_sessions = 0;
+  std::uint32_t protocol_version = kProtocolVersion;
+};
+
 // Encoders return a complete payload (type byte + body), ready to frame.
 Bytes encode(const HelloRequest& m);
 Bytes encode(const BackupBeginRequest& m);
@@ -106,9 +161,13 @@ Bytes encode(const RestoreRequest& m);
 Bytes encode(const BackupDoneResponse& m);
 Bytes encode(const RestoreDoneResponse& m);
 Bytes encode(const BackupListResponse& m);
+Bytes encode(const HelloOkResponse& m);
+Bytes encode(const StatsResponse& m);
+Bytes encode(const HealthResponse& m);
 Bytes encode_backup_data(ByteView chunk);
 Bytes encode_restore_data(ByteView chunk);
-Bytes encode_empty(FrameType t);  // BACKUP_END / LIST / METRICS / SHUTDOWN / OK
+Bytes encode_empty(FrameType t);  // BACKUP_END / LIST / METRICS / SHUTDOWN /
+                                  // STATS / HEALTH / OK
 Bytes encode_rejected(std::string_view reason);
 Bytes encode_error(std::string_view reason);
 Bytes encode_metrics_json(std::string_view json);
@@ -121,6 +180,9 @@ RestoreRequest parse_restore(ByteView body);
 BackupDoneResponse parse_backup_done(ByteView body);
 RestoreDoneResponse parse_restore_done(ByteView body);
 BackupListResponse parse_backup_list(ByteView body);
+HelloOkResponse parse_hello_ok(ByteView body);
+StatsResponse parse_stats(ByteView body);
+HealthResponse parse_health(ByteView body);
 std::string parse_reason(ByteView body);  // REJECTED / ERROR
 std::string parse_metrics_json(ByteView body);
 /// BACKUP_END / LIST / METRICS / SHUTDOWN / OK carry no body.

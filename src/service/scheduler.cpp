@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <utility>
@@ -12,6 +13,7 @@
 
 #include "common/check.h"
 #include "common/sync.h"
+#include "obs/log.h"
 
 namespace defrag::service {
 
@@ -85,6 +87,11 @@ void SessionScheduler::drain() {
   std::vector<std::thread> to_join;
   {
     MutexLock lock(mu_);
+    if (!draining_) {
+      DEFRAG_LOG_INFO("scheduler.drain",
+                      {"live_sessions", conns_.size()},
+                      {"admitted", admitted_});
+    }
     draining_ = true;
     // SHUT_RD, not RDWR: a session mid-operation finishes it and writes
     // its response; only its *next* blocking read sees EOF.
@@ -116,6 +123,16 @@ std::size_t SessionScheduler::active_for(const std::string& tenant) const {
   MutexLock lock(mu_);
   const auto it = admitted_per_tenant_.find(tenant);
   return it == admitted_per_tenant_.end() ? 0 : it->second;
+}
+
+bool SessionScheduler::draining() const {
+  MutexLock lock(mu_);
+  return draining_;
+}
+
+std::map<std::string, std::size_t> SessionScheduler::active_by_tenant() const {
+  MutexLock lock(mu_);
+  return admitted_per_tenant_;
 }
 
 }  // namespace defrag::service

@@ -78,6 +78,10 @@ class SessionScheduler {
 
   std::size_t active_sessions() const;
   std::size_t active_for(const std::string& tenant) const;
+  /// True once drain() has begun (HEALTH reports serving=false from here).
+  bool draining() const;
+  /// Snapshot of per-tenant admitted-session counts (STATS occupancy rows).
+  std::map<std::string, std::size_t> active_by_tenant() const;
 
  private:
   struct Conn {

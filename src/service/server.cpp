@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "service/session.h"
 #include "service/socket.h"
@@ -17,7 +18,8 @@ Server::Server(const ServerConfig& config)
     : config_(config),
       ingestor_(config.ingest),
       scheduler_(config.limits),
-      listener_(config.socket_path) {
+      listener_(config.socket_path),
+      start_time_(std::chrono::steady_clock::now()) {
   DEFRAG_CHECK_MSG(::pipe(stop_pipe_) == 0, "cannot create stop pipe");
   // Touch the service counters up front so a metrics export from a fresh
   // daemon already carries the full service.* surface.
@@ -30,7 +32,20 @@ Server::Server(const ServerConfig& config)
   reg.counter("service.bytes_ingested");
   reg.counter("service.bytes_restored");
   reg.counter("service.wire_errors");
+  reg.counter("service.requests_slow");
   reg.gauge("service.active_sessions").set(0.0);
+  // Per-request latency histograms, one per timed protocol op. Sessions
+  // observe into these by runtime-built name; registering them here keeps
+  // the names literal (the metric-docs lint contract) and present in a
+  // fresh daemon's export.
+  reg.histogram("service.request.hello_us");
+  reg.histogram("service.request.backup_us");
+  reg.histogram("service.request.restore_us");
+  reg.histogram("service.request.list_us");
+  reg.histogram("service.request.metrics_us");
+  reg.histogram("service.request.stats_us");
+  reg.histogram("service.request.health_us");
+  reg.histogram("service.request.shutdown_us");
 }
 
 Server::~Server() {
@@ -47,8 +62,15 @@ void Server::request_stop() {
 }
 
 void Server::serve_connection(int fd) {
-  Session session(Conn(fd), scheduler_, catalog_, ingestor_,
-                  [this] { request_stop(); });
+  SessionEnv env{scheduler_,
+                 catalog_,
+                 ingestor_,
+                 [this] { request_stop(); },
+                 start_time_,
+                 config_.limits,
+                 config_.slow_request_us,
+                 &next_request_id_};
+  Session session(Conn(fd), env);
   session.run();
   obs::MetricsRegistry::global().counter("service.sessions_served").add(1);
 }
@@ -64,7 +86,10 @@ void Server::run() {
       ::close(fd);  // drain already started; refuse silently
     }
   }
+  DEFRAG_LOG_INFO("server.stop",
+                  {"active_sessions", scheduler_.active_sessions()});
   scheduler_.drain();
+  DEFRAG_LOG_INFO("server.drained");
 }
 
 }  // namespace defrag::service

@@ -17,6 +17,8 @@
 // operations complete, every session thread is joined) and returns.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -31,6 +33,9 @@ struct ServerConfig {
   std::string socket_path = "/tmp/defrag-serve.sock";
   SchedulerLimits limits;
   ParallelIngestParams ingest;
+  /// Requests slower than this are logged as service.slow_request and
+  /// counted in service.requests_slow; 0 disables the check.
+  std::uint64_t slow_request_us = 0;
 };
 
 class Server {
@@ -53,6 +58,10 @@ class Server {
   SessionScheduler& scheduler() { return scheduler_; }
   TenantCatalog& catalog() { return catalog_; }
   ParallelIngestor& ingestor() { return ingestor_; }
+  /// Daemon start on the steady clock (STATS/HEALTH uptime anchor).
+  std::chrono::steady_clock::time_point start_time() const {
+    return start_time_;
+  }
 
  private:
   void serve_connection(int fd);
@@ -62,6 +71,9 @@ class Server {
   TenantCatalog catalog_;
   SessionScheduler scheduler_;
   Listener listener_;
+  std::chrono::steady_clock::time_point start_time_;
+  /// Mints the per-session request ids (1-based; 0 means "no request").
+  std::atomic<std::uint64_t> next_request_id_{1};
   int stop_pipe_[2] = {-1, -1};  // [0] polled by run(), [1] written by stop
 };
 

@@ -15,7 +15,10 @@
 #include "core/parallel_ingest.h"
 #include "dedup/engine.h"
 #include "dedup/restore_strategies.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/introspect.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
 #include "service/socket.h"
@@ -39,27 +42,22 @@ double us_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-Session::Session(Conn conn, SessionScheduler& scheduler,
-                 TenantCatalog& catalog, ParallelIngestor& ingestor,
-                 std::function<void()> request_stop)
-    : conn_(std::move(conn)),
-      scheduler_(scheduler),
-      catalog_(catalog),
-      ingestor_(ingestor),
-      request_stop_(std::move(request_stop)) {}
+Session::Session(Conn conn, const SessionEnv& env)
+    : conn_(std::move(conn)), env_(env) {}
 
 void Session::run() {
   auto& reg = obs::MetricsRegistry::global();
   try {
-    if (handle_hello()) {
-      while (true) {
-        const std::optional<Bytes> payload = conn_.recv_frame();
-        if (!payload.has_value()) break;  // clean EOF
-        if (!handle(*payload)) break;
-      }
+    while (true) {
+      const std::optional<Bytes> payload = conn_.recv_frame();
+      if (!payload.has_value()) break;  // clean EOF
+      const bool keep =
+          admitted_ ? handle(*payload) : handle_unadmitted(*payload);
+      if (!keep) break;
     }
   } catch (const WireError& e) {
     reg.counter("service.wire_errors").add(1);
+    DEFRAG_LOG_WARN("session.wire_error", {"reason", e.what()});
     try {
       send(encode_error(e.what()));
     } catch (const SocketError&) {
@@ -69,44 +67,76 @@ void Session::run() {
     }
   } catch (const SocketError&) {
     // Peer vanished mid-write; admission/metrics cleanup below still runs.
+    DEFRAG_LOG_WARN("session.socket_error", {"tenant", tenant_});
   }
   if (admitted_) {
     flush_metrics();
-    scheduler_.release(tenant_);
+    env_.scheduler.release(tenant_);
     reg.gauge("service.active_sessions")
-        .set(static_cast<double>(scheduler_.active_sessions()));
+        .set(static_cast<double>(env_.scheduler.active_sessions()));
+    DEFRAG_LOG_INFO("session.end", {"tenant", tenant_});
   }
   conn_.close();
 }
 
-bool Session::handle_hello() {
-  auto& reg = obs::MetricsRegistry::global();
-  const std::optional<Bytes> payload = conn_.recv_frame();
-  if (!payload.has_value()) return false;  // connected and left
-  if (frame_type(*payload) != FrameType::kHello) {
-    throw WireError("expected HELLO");
+bool Session::handle_unadmitted(ByteView payload) {
+  const FrameType type = frame_type(payload);
+  const ByteView body = frame_body(payload);
+  switch (type) {
+    case FrameType::kHello:
+      return handle_hello(body);
+    // Introspection never consumes an admission slot: a monitoring probe
+    // must keep answering while the server is full or draining.
+    case FrameType::kStats:
+      parse_empty(body);
+      return timed("stats", [this] { return do_stats(); });
+    case FrameType::kHealth:
+      parse_empty(body);
+      return timed("health", [this] { return do_health(); });
+    default:
+      throw WireError("expected HELLO");
   }
-  const HelloRequest hello = parse_hello(frame_body(*payload));
+}
+
+bool Session::handle_hello(ByteView body) {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto start = std::chrono::steady_clock::now();
+  const HelloRequest hello = parse_hello(body);
   if (hello.version != kProtocolVersion) {
+    DEFRAG_LOG_WARN("session.reject", {"tenant", hello.tenant},
+                    {"reason", "protocol version mismatch"},
+                    {"peer_version", hello.version});
     send(encode_rejected("protocol version mismatch"));
     return false;
   }
-  const SessionScheduler::Admission verdict = scheduler_.admit(hello.tenant);
+  const SessionScheduler::Admission verdict =
+      env_.scheduler.admit(hello.tenant);
   if (verdict != SessionScheduler::Admission::kAdmitted) {
     reg.counter("service.sessions_rejected").add(1);
     reg.counter(TenantCatalog::metric_scope(hello.tenant) + "rejected")
         .add(1);
+    DEFRAG_LOG_WARN("session.reject", {"tenant", hello.tenant},
+                    {"reason", SessionScheduler::reason(verdict)});
     send(encode_rejected(SessionScheduler::reason(verdict)));
     return false;
   }
   admitted_ = true;
   tenant_ = hello.tenant;
   scope_ = TenantCatalog::metric_scope(tenant_);
+  // Mint the request id and scope the rest of this session (this thread)
+  // to it: every log line, trace span and histogram below carries rid_.
+  rid_ = env_.next_request_id->fetch_add(1, std::memory_order_relaxed);
+  rid_scope_.emplace(rid_);
   local_.counter(scope_ + "sessions").add(1);
   reg.counter("service.sessions_accepted").add(1);
   reg.gauge("service.active_sessions")
-      .set(static_cast<double>(scheduler_.active_sessions()));
-  send(encode_empty(FrameType::kOk));
+      .set(static_cast<double>(env_.scheduler.active_sessions()));
+  local_.histogram("service.request.hello_us").observe(us_since(start));
+  flush_metrics();
+  DEFRAG_LOG_INFO("session.start", {"tenant", tenant_});
+  HelloOkResponse ok;
+  ok.session_id = rid_;
+  send(encode(ok));
   return true;
 }
 
@@ -135,33 +165,64 @@ bool Session::handle(ByteView payload) {
     case FrameType::kBackupEnd:
       parse_empty(body);
       if (!in_backup_) throw WireError("BACKUP_END outside a backup");
-      return do_backup_end();
-    case FrameType::kRestore:
-      return do_restore(parse_restore(body));
+      return timed("backup", [this] { return do_backup_end(); });
+    case FrameType::kRestore: {
+      const RestoreRequest req = parse_restore(body);
+      return timed("restore", [this, &req] { return do_restore(req); });
+    }
     case FrameType::kList:
       parse_empty(body);
-      return do_list();
+      return timed("list", [this] { return do_list(); });
     case FrameType::kMetrics:
       parse_empty(body);
-      return do_metrics();
+      return timed("metrics", [this] { return do_metrics(); });
+    case FrameType::kStats:
+      parse_empty(body);
+      return timed("stats", [this] { return do_stats(); });
+    case FrameType::kHealth:
+      parse_empty(body);
+      return timed("health", [this] { return do_health(); });
     case FrameType::kShutdown:
       parse_empty(body);
-      // Acknowledge first: once the drain starts, this session's next
-      // read sees EOF and the loop exits cleanly.
-      send(encode_empty(FrameType::kOk));
-      request_stop_();
-      return true;
+      return timed("shutdown", [this] { return do_shutdown(); });
     default:
       throw WireError("unexpected frame type from client");
   }
+}
+
+bool Session::timed(const char* op, const std::function<bool()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  bool keep = false;
+  {
+    std::string span_name = "service.";
+    span_name += op;
+    obs::TraceSpan span(span_name, "service");
+    keep = body();
+  }
+  const double us = us_since(start);
+  // Name built at runtime; the documented set is registered literally in
+  // Server's constructor, one per FrameType op.
+  std::string metric = "service.request.";
+  metric += op;
+  metric += "_us";
+  local_.histogram(metric).observe(us);
+  flush_metrics();
+  if (env_.slow_request_us > 0 &&
+      us > static_cast<double>(env_.slow_request_us)) {
+    obs::MetricsRegistry::global().counter("service.requests_slow").add(1);
+    DEFRAG_LOG_WARN("service.slow_request", {"op", op},
+                    {"us", us}, {"tenant", tenant_},
+                    {"threshold_us", env_.slow_request_us});
+  }
+  return keep;
 }
 
 bool Session::do_backup_end() {
   const auto start = std::chrono::steady_clock::now();
   Recipe recipe(backup_label_.empty() ? tenant_ : backup_label_);
   const StreamIngestStats st =
-      ingestor_.ingest_stream(ByteView(backup_data_), &recipe);
-  const std::uint32_t id = catalog_.commit(tenant_, std::move(recipe));
+      env_.ingestor.ingest_stream(ByteView(backup_data_), &recipe);
+  const std::uint32_t id = env_.catalog.commit(tenant_, std::move(recipe));
 
   local_.counter(scope_ + "backups").add(1);
   local_.counter(scope_ + "logical_bytes").add(st.logical_bytes);
@@ -172,6 +233,10 @@ bool Session::do_backup_end() {
   reg.counter("service.backups").add(1);
   reg.counter("service.bytes_ingested").add(st.logical_bytes);
   flush_metrics();
+  DEFRAG_LOG_INFO("session.backup", {"tenant", tenant_},
+                  {"backup_id", id},
+                  {"logical_bytes", st.logical_bytes},
+                  {"unique_bytes", st.unique_bytes});
 
   BackupDoneResponse resp;
   resp.backup_id = id;
@@ -189,7 +254,7 @@ bool Session::do_backup_end() {
 bool Session::do_restore(const RestoreRequest& req) {
   const auto start = std::chrono::steady_clock::now();
   const std::shared_ptr<const Recipe> recipe =
-      catalog_.find(tenant_, req.backup_id);
+      env_.catalog.find(tenant_, req.backup_id);
   if (recipe == nullptr) {
     send(encode_error("unknown backup id for this tenant"));
     return true;  // unservable but well-formed; session continues
@@ -202,14 +267,14 @@ bool Session::do_restore(const RestoreRequest& req) {
   for (const RecipeEntry& e : recipe->entries()) {
     referenced.insert(e.location.container);
   }
-  const ContainerStore& store = ingestor_.store();
+  const ContainerStore& store = env_.ingestor.store();
   for (const ContainerId id : referenced) store.wait_sealed(id);
 
   Bytes out;
   out.reserve(recipe->logical_bytes());
   const RestoreOptions options;
   const RestoreResult rr = restore_with_strategy(
-      store, *recipe, ingestor_.params().disk, options, &out);
+      store, *recipe, env_.ingestor.params().disk, options, &out);
 
   local_.counter(scope_ + "restores").add(1);
   local_.counter(scope_ + "restored_bytes").add(out.size());
@@ -218,6 +283,10 @@ bool Session::do_restore(const RestoreRequest& req) {
   reg.counter("service.restores").add(1);
   reg.counter("service.bytes_restored").add(out.size());
   flush_metrics();
+  DEFRAG_LOG_INFO("session.restore", {"tenant", tenant_},
+                  {"backup_id", req.backup_id},
+                  {"bytes", out.size()},
+                  {"container_loads", rr.container_loads});
 
   for (std::uint64_t off = 0; off < out.size(); off += kRestoreDataChunk) {
     const std::uint64_t n =
@@ -233,7 +302,7 @@ bool Session::do_restore(const RestoreRequest& req) {
 
 bool Session::do_list() {
   BackupListResponse resp;
-  resp.backups = catalog_.list(tenant_);
+  resp.backups = env_.catalog.list(tenant_);
   send(encode(resp));
   return true;
 }
@@ -242,6 +311,26 @@ bool Session::do_metrics() {
   std::ostringstream os;
   obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
   send(encode_metrics_json(os.str()));
+  return true;
+}
+
+bool Session::do_stats() {
+  send(encode(collect_stats(env_.scheduler, env_.catalog, env_.limits,
+                            env_.server_start)));
+  return true;
+}
+
+bool Session::do_health() {
+  send(encode(collect_health(env_.scheduler, env_.server_start)));
+  return true;
+}
+
+bool Session::do_shutdown() {
+  // Acknowledge first: once the drain starts, this session's next read
+  // sees EOF and the loop exits cleanly.
+  DEFRAG_LOG_INFO("session.shutdown_request", {"tenant", tenant_});
+  send(encode_empty(FrameType::kOk));
+  env_.request_stop();
   return true;
 }
 

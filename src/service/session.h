@@ -3,7 +3,20 @@
 // A Session owns its Conn and drives the request/response state machine of
 // protocol.h: HELLO (admission via the SessionScheduler), then any number
 // of backup / restore / list / metrics / shutdown operations until the
-// client disconnects or a malformed frame closes the connection.
+// client disconnects or a malformed frame closes the connection. STATS and
+// HEALTH are answered with or without admission, so monitoring keeps
+// working while the server is full or draining.
+//
+// Observability (the service's per-request contract):
+//  - admission mints a request id from the server-wide counter, answers
+//    HELLO_OK with it, and installs an obs::RequestScope for the rest of
+//    the session — every log line and trace span below this thread
+//    (catalog commit, ingest_stream, container seals) carries the rid;
+//  - every request runs under timed(): a "service.<op>" trace span, a
+//    sample in the service.request.<op>_us histogram, and — over the
+//    configured slow threshold — a service.slow_request warning plus the
+//    service.requests_slow counter. BACKUP_DATA is deliberately untimed:
+//    it is the hot byte-append path and has no response to attribute.
 //
 // Data plane: BACKUP_END hands the accumulated stream to
 // ParallelIngestor::ingest_stream() with a Recipe, and commits the recipe
@@ -20,13 +33,17 @@
 // service.* counters are updated directly (they are atomic).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "common/bytes.h"
 #include "core/parallel_ingest.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
 #include "service/socket.h"
@@ -38,10 +55,28 @@ namespace defrag::service {
 /// simulation; a runaway client should fail cleanly, not OOM the daemon).
 inline constexpr std::uint64_t kMaxBackupBytes = 1ull << 30;
 
+/// Everything a session borrows from its Server. All references outlive
+/// the session (the scheduler joins every session thread before the
+/// Server's members destruct).
+struct SessionEnv {
+  SessionScheduler& scheduler;
+  TenantCatalog& catalog;
+  ParallelIngestor& ingestor;
+  std::function<void()> request_stop;
+  /// Daemon start (steady clock) for STATS/HEALTH uptime.
+  std::chrono::steady_clock::time_point server_start{};
+  /// Quotas echoed in STATS occupancy rows.
+  SchedulerLimits limits;
+  /// Requests slower than this log service.slow_request; 0 disables.
+  std::uint64_t slow_request_us = 0;
+  /// Server-wide request-id mint (never null; ids start at 1, so rid 0
+  /// always means "no request scope").
+  std::atomic<std::uint64_t>* next_request_id = nullptr;
+};
+
 class Session {
  public:
-  Session(Conn conn, SessionScheduler& scheduler, TenantCatalog& catalog,
-          ParallelIngestor& ingestor, std::function<void()> request_stop);
+  Session(Conn conn, const SessionEnv& env);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -51,24 +86,35 @@ class Session {
   void run();
 
  private:
-  bool handle_hello();
+  /// First-contact requests: HELLO, or unadmitted STATS/HEALTH. Returns
+  /// false to close the connection.
+  bool handle_unadmitted(ByteView payload);
+  bool handle_hello(ByteView body);
   /// One post-admission request. Returns false to close the connection.
   bool handle(ByteView payload);
   bool do_backup_end();
   bool do_restore(const RestoreRequest& req);
   bool do_list();
   bool do_metrics();
+  bool do_stats();
+  bool do_health();
+  bool do_shutdown();
+  /// Run `body` as one named request: trace span, latency histogram,
+  /// slow-request accounting. `op` must be one of the documented
+  /// service.request.<op>_us names.
+  bool timed(const char* op, const std::function<bool()>& body);
   void send(const Bytes& payload) { conn_.send_frame(payload); }
   /// Fold the session-local registry into the global one and clear it.
   void flush_metrics();
 
   Conn conn_;
-  SessionScheduler& scheduler_;
-  TenantCatalog& catalog_;
-  ParallelIngestor& ingestor_;
-  std::function<void()> request_stop_;
+  SessionEnv env_;
 
   bool admitted_ = false;
+  std::uint64_t rid_ = 0;
+  /// Installed at admission; keeps this thread's log lines and trace
+  /// spans tagged with rid_ until the session object dies.
+  std::optional<obs::RequestScope> rid_scope_;
   std::string tenant_;
   std::string scope_;  // "service.tenant.<slug>."
   obs::MetricsRegistry local_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/sync.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "service/protocol.h"
 #include "storage/recipe.h"
@@ -25,12 +26,21 @@ TenantCatalog::Tenant& TenantCatalog::tenant_locked(const std::string& name) {
 std::uint32_t TenantCatalog::commit(const std::string& tenant, Recipe recipe) {
   const std::string scope = metric_scope(tenant);
   auto& reg = obs::MetricsRegistry::global();
-  MutexLock lock(mu_);
-  Tenant& t = tenant_locked(tenant);
-  const std::uint32_t id = t.next_id++;
-  reg.counter(scope + "backups_committed").add(1);
-  reg.counter(scope + "catalog_logical_bytes").add(recipe.logical_bytes());
-  t.backups.emplace(id, std::make_shared<const Recipe>(std::move(recipe)));
+  const std::uint64_t logical = recipe.logical_bytes();
+  std::uint32_t id = 0;
+  {
+    MutexLock lock(mu_);
+    Tenant& t = tenant_locked(tenant);
+    id = t.next_id++;
+    reg.counter(scope + "backups_committed").add(1);
+    reg.counter(scope + "catalog_logical_bytes").add(logical);
+    t.backups.emplace(id, std::make_shared<const Recipe>(std::move(recipe)));
+  }
+  // Outside the lock: the logger picks up the session's rid from its
+  // RequestScope, tying this commit to the request that made it.
+  DEFRAG_LOG_DEBUG("catalog.commit", {"tenant", tenant},
+                   {"backup_id", id},
+                   {"logical_bytes", logical});
   return id;
 }
 
@@ -58,6 +68,22 @@ std::vector<BackupInfo> TenantCatalog::list(const std::string& tenant) const {
 std::size_t TenantCatalog::tenant_count() const {
   MutexLock lock(mu_);
   return tenants_.size();
+}
+
+std::vector<TenantStatsRow> TenantCatalog::rows() const {
+  std::vector<TenantStatsRow> out;
+  MutexLock lock(mu_);
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantStatsRow row;
+    row.tenant = name;
+    for (const auto& [id, recipe] : t.backups) {
+      ++row.backups;
+      row.logical_bytes += recipe->logical_bytes();
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 }  // namespace defrag::service

@@ -51,6 +51,11 @@ class TenantCatalog {
 
   std::size_t tenant_count() const;
 
+  /// One STATS row per known tenant (name order): committed-backup count
+  /// and catalog logical bytes. The caller overlays live occupancy from
+  /// SessionScheduler::active_by_tenant() — the catalog does not know it.
+  std::vector<TenantStatsRow> rows() const;
+
  private:
   struct Tenant {
     std::uint32_t next_id = 1;

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/fingerprint.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/container.h"
 #include "storage/disk_model.h"
 
@@ -124,6 +125,11 @@ Container* ContainerStore::allocate_container() {
 void ContainerStore::publish_seal_locked(ContainerId id) {
   DEFRAG_CHECK_MSG(id < seal_published_.size(), "publishing unknown container");
   seal_published_[id] = true;
+  // Tagged with the requesting session's rid (RequestScope), this instant
+  // places each container seal on the request's trace track — the deepest
+  // point the service's request context reaches. Lock order fine: trace(40)
+  // above container_store(10).
+  obs::TraceRecorder::global().record_instant("store.seal", "storage");
   seal_cv_.notify_all();
 }
 

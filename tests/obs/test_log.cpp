@@ -1,0 +1,178 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/request_context.h"
+#include "testing/json_check.h"
+
+namespace defrag::obs {
+namespace {
+
+/// A Logger wired to an in-memory sink. Each test uses its own instance so
+/// the global logger (and its default stderr sink) stays untouched.
+struct CapturedLogger {
+  Logger logger;
+  std::vector<std::string> lines;
+
+  CapturedLogger() {
+    logger.set_sink([this](std::string_view line) {
+      lines.emplace_back(line);
+    });
+  }
+};
+
+TEST(LogLevelTest, ParseRoundTrips) {
+  for (const auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(LoggerTest, LevelFiltering) {
+  CapturedLogger cap;
+  cap.logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(cap.logger.should_log(LogLevel::kDebug));
+  EXPECT_FALSE(cap.logger.should_log(LogLevel::kInfo));
+  EXPECT_TRUE(cap.logger.should_log(LogLevel::kWarn));
+  EXPECT_TRUE(cap.logger.should_log(LogLevel::kError));
+  cap.logger.log(LogLevel::kInfo, "dropped");
+  cap.logger.log(LogLevel::kError, "kept");
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_NE(cap.lines[0].find("kept"), std::string::npos);
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  CapturedLogger cap;
+  cap.logger.set_level(LogLevel::kOff);
+  cap.logger.log(LogLevel::kError, "nope");
+  EXPECT_TRUE(cap.lines.empty());
+  // kOff is not a line level: even with the threshold at debug, a
+  // log(kOff, ...) call emits nothing.
+  cap.logger.set_level(LogLevel::kDebug);
+  cap.logger.log(LogLevel::kOff, "still-nope");
+  EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(LoggerTest, HumanFormatCarriesEventAndFields) {
+  CapturedLogger cap;
+  cap.logger.log(LogLevel::kInfo, "session.start",
+                 {{"tenant", "acme"}, {"count", 7}, {"ok", true}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  const std::string& line = cap.lines[0];
+  EXPECT_NE(line.find(" INFO session.start"), std::string::npos);
+  EXPECT_NE(line.find("tenant=acme"), std::string::npos);
+  EXPECT_NE(line.find("count=7"), std::string::npos);
+  EXPECT_NE(line.find("ok=true"), std::string::npos);
+}
+
+TEST(LoggerTest, HumanFormatQuotesAmbiguousStrings) {
+  CapturedLogger cap;
+  cap.logger.log(LogLevel::kWarn, "e", {{"reason", "two words"}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_NE(cap.lines[0].find("reason=\"two words\""), std::string::npos);
+}
+
+TEST(LoggerTest, JsonLinesAreValidAndTyped) {
+  CapturedLogger cap;
+  cap.logger.set_json(true);
+  cap.logger.log(LogLevel::kWarn, "session.reject",
+                 {{"tenant", "a\"b"},
+                  {"quota", 4},
+                  {"ratio", 0.5},
+                  {"draining", false}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  const std::string& line = cap.lines[0];
+  EXPECT_TRUE(testing::JsonChecker::valid(line)) << line;
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"session.reject\""), std::string::npos);
+  // Numbers and bools stay bare; only strings are quoted.
+  EXPECT_NE(line.find("\"quota\":4"), std::string::npos);
+  EXPECT_NE(line.find("\"draining\":false"), std::string::npos);
+}
+
+TEST(LoggerTest, RequestScopeAddsRidField) {
+  CapturedLogger cap;
+  cap.logger.set_json(true);
+  cap.logger.log(LogLevel::kInfo, "outside");
+  {
+    RequestScope scope(42);
+    cap.logger.log(LogLevel::kInfo, "inside");
+    {
+      RequestScope nested(43);
+      cap.logger.log(LogLevel::kInfo, "nested");
+    }
+    cap.logger.log(LogLevel::kInfo, "restored");
+  }
+  cap.logger.log(LogLevel::kInfo, "after");
+  ASSERT_EQ(cap.lines.size(), 5u);
+  EXPECT_EQ(cap.lines[0].find("\"rid\""), std::string::npos);
+  EXPECT_NE(cap.lines[1].find("\"rid\":42"), std::string::npos);
+  EXPECT_NE(cap.lines[2].find("\"rid\":43"), std::string::npos);
+  EXPECT_NE(cap.lines[3].find("\"rid\":42"), std::string::npos);
+  EXPECT_EQ(cap.lines[4].find("\"rid\""), std::string::npos);
+}
+
+TEST(LoggerTest, RateLimitCapsPerEventAndReportsSuppressed) {
+  CapturedLogger cap;
+  cap.logger.set_rate_limit(1, 0.05);
+  for (int i = 0; i < 4; ++i) {
+    cap.logger.log(LogLevel::kInfo, "storm", {{"i", i}});
+  }
+  // Distinct event names get their own windows.
+  cap.logger.log(LogLevel::kInfo, "calm");
+  EXPECT_EQ(cap.lines.size(), 2u);  // one "storm" + one "calm"
+  // The next window's first "storm" line reports what the last one dropped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  cap.logger.log(LogLevel::kInfo, "storm");
+  ASSERT_EQ(cap.lines.size(), 3u);
+  EXPECT_NE(cap.lines[2].find("suppressed=3"), std::string::npos)
+      << cap.lines[2];
+}
+
+TEST(LoggerTest, ConcurrentLoggingKeepsLinesIntact) {
+  CapturedLogger cap;
+  cap.logger.set_json(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cap, t] {
+      RequestScope scope(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        cap.logger.log(LogLevel::kInfo, "worker.tick",
+                       {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(cap.lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (const std::string& line : cap.lines) {
+    EXPECT_TRUE(testing::JsonChecker::valid(line)) << line;
+    EXPECT_NE(line.find("\"rid\":"), std::string::npos) << line;
+  }
+}
+
+TEST(LoggerTest, SinkResetRestoresDefault) {
+  // set_sink(nullptr) must fall back to the stderr sink, not crash.
+  Logger logger;
+  logger.set_sink(nullptr);
+  logger.set_level(LogLevel::kOff);
+  logger.log(LogLevel::kError, "never-emitted");
+}
+
+TEST(GlobalLoggerTest, IsASingleton) {
+  EXPECT_EQ(&Logger::global(), &Logger::global());
+}
+
+}  // namespace
+}  // namespace defrag::obs

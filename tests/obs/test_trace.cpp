@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/request_context.h"
 #include "testing/json_check.h"
 
 namespace defrag::obs {
@@ -112,6 +117,99 @@ TEST(TraceJsonTest, EmptyRecorderIsValidJson) {
 
 TEST(GlobalTraceRecorderTest, IsASingleton) {
   EXPECT_EQ(&TraceRecorder::global(), &TraceRecorder::global());
+}
+
+TEST(TraceRidTest, EventsCarryTheActiveRequestId) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.record_instant("before", "test");
+  {
+    RequestScope scope(7);
+    TraceSpan span("request-work", "test", rec);
+  }
+  rec.record_instant("after", "test");
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].rid, 0u);
+  EXPECT_EQ(events[1].rid, 7u);
+  EXPECT_EQ(events[2].rid, 0u);
+}
+
+TEST(TraceRidTest, NestedScopesRestoreOnExit) {
+  TraceRecorder rec;
+  rec.enable();
+  RequestScope outer(10);
+  {
+    RequestScope inner(11);
+    rec.record_instant("inner", "test");
+  }
+  rec.record_instant("outer", "test");
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].rid, 11u);
+  EXPECT_EQ(events[1].rid, 10u);
+}
+
+TEST(TraceRidTest, RidTaggedJsonGroupsByRequestTrack) {
+  TraceRecorder rec;
+  rec.enable();
+  {
+    RequestScope scope(5);
+    TraceSpan span("service.backup", "service", rec);
+  }
+  rec.record_instant("untagged", "test");
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::JsonChecker::valid(json)) << json;
+  // The rid event moves to the synthetic per-request track, named via a
+  // thread_name metadata event; its OS thread survives in args.thread.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("rid 5"), std::string::npos);
+  EXPECT_NE(json.find("\"rid\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"thread\""), std::string::npos);
+}
+
+// The concurrency contract behind the service's per-session tracing: many
+// threads recording under distinct RequestScopes at once must produce a
+// valid trace with every event attributed to exactly its own thread's rid
+// (TSan runs this in CI; a racy recorder or a shared rid slot fails here).
+TEST(TraceRidTest, ConcurrentScopedSpansStayCorrectlyTagged) {
+  TraceRecorder rec;
+  rec.enable();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      const auto rid = static_cast<std::uint64_t>(t) + 1;
+      RequestScope scope(rid);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("span-" + std::to_string(t), "test", rec);
+        rec.record_instant("tick-" + std::to_string(t), "test");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  std::set<std::uint64_t> rids;
+  for (const TraceEvent& e : events) {
+    ASSERT_GE(e.rid, 1u);
+    ASSERT_LE(e.rid, static_cast<std::uint64_t>(kThreads));
+    // The name encodes the producing thread: rid and name must agree.
+    const std::string suffix = std::to_string(e.rid - 1);
+    EXPECT_EQ(e.name.substr(e.name.rfind('-') + 1), suffix) << e.name;
+    rids.insert(e.rid);
+  }
+  EXPECT_EQ(rids.size(), static_cast<std::size_t>(kThreads));
+
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  EXPECT_TRUE(testing::JsonChecker::valid(os.str()));
 }
 
 }  // namespace

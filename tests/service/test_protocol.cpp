@@ -119,7 +119,7 @@ TEST(ProtocolTest, EmptyPayloadRejected) {
 }
 
 TEST(ProtocolTest, UnknownFrameTypeRejected) {
-  constexpr std::uint8_t kBadTypes[] = {0x00, 0x09, 0x50, 0x80, 0x89, 0xff};
+  constexpr std::uint8_t kBadTypes[] = {0x00, 0x0b, 0x50, 0x80, 0x8c, 0xff};
   for (const std::uint8_t type : kBadTypes) {
     const Bytes payload = {type};
     EXPECT_THROW(frame_type(ByteView(payload)), WireError)
@@ -184,6 +184,115 @@ TEST(ProtocolTest, HostileListCountRejected) {
   WireWriter w(body);
   w.u32(0x7fffffffu);  // claims ~2B entries, provides none
   EXPECT_THROW(parse_backup_list(ByteView(body)), WireError);
+}
+
+TEST(ProtocolTest, HelloOkRoundTrip) {
+  HelloOkResponse resp;
+  resp.session_id = 0x1122334455667788ull;
+  const Bytes payload = encode(resp);
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kHelloOk);
+  EXPECT_EQ(parse_hello_ok(frame_body(ByteView(payload))).session_id,
+            0x1122334455667788ull);
+}
+
+TEST(ProtocolTest, StatsRoundTrip) {
+  StatsResponse resp;
+  resp.uptime_us = 123456789;
+  resp.active_sessions = 3;
+  resp.max_sessions = 8;
+  resp.sessions_accepted = 100;
+  resp.sessions_rejected = 5;
+  resp.sessions_served = 97;
+  resp.backups = 40;
+  resp.restores = 12;
+  resp.bytes_ingested = 1ull << 33;
+  resp.bytes_restored = 1ull << 30;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    TenantStatsRow row;
+    row.tenant = "tenant-" + std::to_string(i);
+    row.active_sessions = i;
+    row.session_quota = 4;
+    row.backups = 10u * (i + 1);
+    row.logical_bytes = 1000ull * (i + 1);
+    resp.tenants.push_back(row);
+  }
+  const Bytes payload = encode(resp);
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kStatsResult);
+  const StatsResponse back = parse_stats(frame_body(ByteView(payload)));
+  EXPECT_EQ(back.uptime_us, 123456789u);
+  EXPECT_EQ(back.active_sessions, 3u);
+  EXPECT_EQ(back.max_sessions, 8u);
+  EXPECT_EQ(back.sessions_accepted, 100u);
+  EXPECT_EQ(back.sessions_rejected, 5u);
+  EXPECT_EQ(back.sessions_served, 97u);
+  EXPECT_EQ(back.backups, 40u);
+  EXPECT_EQ(back.restores, 12u);
+  EXPECT_EQ(back.bytes_ingested, 1ull << 33);
+  EXPECT_EQ(back.bytes_restored, 1ull << 30);
+  ASSERT_EQ(back.tenants.size(), 2u);
+  EXPECT_EQ(back.tenants[1].tenant, "tenant-1");
+  EXPECT_EQ(back.tenants[1].active_sessions, 1u);
+  EXPECT_EQ(back.tenants[1].session_quota, 4u);
+  EXPECT_EQ(back.tenants[1].backups, 20u);
+  EXPECT_EQ(back.tenants[1].logical_bytes, 2000u);
+}
+
+TEST(ProtocolTest, HealthRoundTrip) {
+  HealthResponse resp;
+  resp.serving = false;
+  resp.uptime_us = 42;
+  resp.active_sessions = 2;
+  const Bytes payload = encode(resp);
+  ASSERT_EQ(frame_type(ByteView(payload)), FrameType::kHealthResult);
+  const HealthResponse back = parse_health(frame_body(ByteView(payload)));
+  EXPECT_FALSE(back.serving);
+  EXPECT_EQ(back.uptime_us, 42u);
+  EXPECT_EQ(back.active_sessions, 2u);
+  EXPECT_EQ(back.protocol_version, kProtocolVersion);
+}
+
+// Introspection responses must reject truncation byte-for-byte like every
+// other frame (the one-shot fetch path parses untrusted daemon output).
+TEST(ProtocolTest, TruncatedIntrospectionBodiesThrow) {
+  StatsResponse stats;
+  stats.uptime_us = 1;
+  TenantStatsRow row;
+  row.tenant = "t";
+  stats.tenants.push_back(row);
+  const Bytes sp = encode(stats);
+  const ByteView sbody = frame_body(ByteView(sp));
+  for (std::size_t n = 0; n < sbody.size(); ++n) {
+    EXPECT_THROW(parse_stats(sbody.subspan(0, n)), WireError) << n;
+  }
+
+  HealthResponse health;
+  const Bytes hp = encode(health);
+  const ByteView hbody = frame_body(ByteView(hp));
+  for (std::size_t n = 0; n < hbody.size(); ++n) {
+    EXPECT_THROW(parse_health(hbody.subspan(0, n)), WireError) << n;
+  }
+
+  HelloOkResponse ok;
+  const Bytes op = encode(ok);
+  const ByteView obody = frame_body(ByteView(op));
+  for (std::size_t n = 0; n < obody.size(); ++n) {
+    EXPECT_THROW(parse_hello_ok(obody.subspan(0, n)), WireError) << n;
+  }
+}
+
+// A hostile STATS tenant-row count must be rejected as truncation without
+// pre-allocating the claimed rows.
+TEST(ProtocolTest, HostileStatsCountRejected) {
+  StatsResponse resp;
+  Bytes payload = encode(resp);
+  ByteView body = frame_body(ByteView(payload));
+  Bytes doctored(body.begin(), body.end());
+  // The tenant-row count is the final u32; claim ~2B rows, provide none.
+  doctored[doctored.size() - 4] = 0xff;
+  doctored[doctored.size() - 3] = 0xff;
+  doctored[doctored.size() - 2] = 0xff;
+  doctored[doctored.size() - 1] = 0x7f;
+  EXPECT_THROW(parse_stats(ByteView(doctored)), WireError);
 }
 
 }  // namespace

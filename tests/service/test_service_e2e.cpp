@@ -200,7 +200,7 @@ TEST_F(ServiceE2ETest, MalformedFrameGetsErrorResponse) {
   conn.send_frame(ByteView(encode(hello)));
   std::optional<Bytes> reply = conn.recv_frame();
   ASSERT_TRUE(reply.has_value());
-  ASSERT_EQ(frame_type(ByteView(*reply)), FrameType::kOk);
+  ASSERT_EQ(frame_type(ByteView(*reply)), FrameType::kHelloOk);
 
   // RESTORE with an empty body: well-typed frame, truncated payload.
   conn.send_frame(ByteView(encode_empty(FrameType::kRestore)));

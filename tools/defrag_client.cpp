@@ -5,6 +5,8 @@
 //   defrag-client restore      --socket PATH --tenant NAME --id N [--out F]
 //   defrag-client list         --socket PATH --tenant NAME
 //   defrag-client metrics      --socket PATH [--tenant NAME] [--out FILE]
+//   defrag-client stats        --socket PATH
+//   defrag-client health       --socket PATH
 //   defrag-client shutdown     --socket PATH [--tenant NAME]
 //   defrag-client smoke        --socket PATH [--tenants T] [--sessions S]
 //                              [--generations G] [--files N] [--seed N]
@@ -16,7 +18,9 @@
 // sessions, every session backing up G generations concurrently and then
 // restoring each one, failing unless every restore is bit-identical.
 // `probe-reject` opens sessions (held open) until the server rejects one,
-// verifying admission control from the outside.
+// verifying admission control from the outside. `stats` and `health` query
+// the daemon's live introspection endpoints over an unadmitted connection,
+// so they answer even when the server is full or draining.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -41,8 +45,9 @@ using namespace defrag;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: defrag-client <backup|restore|list|metrics|shutdown|smoke|"
-      "probe-reject> --socket PATH [--tenant NAME] [options]\n");
+      "usage: defrag-client <backup|restore|list|metrics|stats|health|"
+      "shutdown|smoke|probe-reject> --socket PATH [--tenant NAME] "
+      "[options]\n");
   return 2;
 }
 
@@ -118,6 +123,40 @@ int cmd_metrics(const cli::Args& args) {
   std::printf("metrics: wrote %zu bytes to %s\n", json.size(),
               out_path.c_str());
   return 0;
+}
+
+int cmd_stats(const cli::Args& args) {
+  const service::StatsResponse s =
+      service::fetch_stats(args.get("socket", "/tmp/defrag-serve.sock"));
+  std::printf("uptime: %.1fs\n", static_cast<double>(s.uptime_us) / 1e6);
+  std::printf("sessions: %u active / %u max (%llu accepted, %llu rejected, "
+              "%llu served)\n",
+              s.active_sessions, s.max_sessions,
+              static_cast<unsigned long long>(s.sessions_accepted),
+              static_cast<unsigned long long>(s.sessions_rejected),
+              static_cast<unsigned long long>(s.sessions_served));
+  std::printf("backups: %llu (%s ingested)   restores: %llu (%s restored)\n",
+              static_cast<unsigned long long>(s.backups),
+              format_bytes(s.bytes_ingested).c_str(),
+              static_cast<unsigned long long>(s.restores),
+              format_bytes(s.bytes_restored).c_str());
+  for (const service::TenantStatsRow& t : s.tenants) {
+    std::printf("tenant %-24s %u/%u sessions  %llu backups  %s\n",
+                t.tenant.c_str(), t.active_sessions, t.session_quota,
+                static_cast<unsigned long long>(t.backups),
+                format_bytes(t.logical_bytes).c_str());
+  }
+  return 0;
+}
+
+int cmd_health(const cli::Args& args) {
+  const service::HealthResponse h =
+      service::fetch_health(args.get("socket", "/tmp/defrag-serve.sock"));
+  std::printf("%s uptime=%.1fs active_sessions=%u protocol=v%u\n",
+              h.serving ? "SERVING" : "DRAINING",
+              static_cast<double>(h.uptime_us) / 1e6, h.active_sessions,
+              h.protocol_version);
+  return h.serving ? 0 : 1;
 }
 
 int cmd_shutdown(const cli::Args& args) {
@@ -237,6 +276,8 @@ int main(int argc, char** argv) {
     if (args->command == "restore") return cmd_restore(*args);
     if (args->command == "list") return cmd_list(*args);
     if (args->command == "metrics") return cmd_metrics(*args);
+    if (args->command == "stats") return cmd_stats(*args);
+    if (args->command == "health") return cmd_health(*args);
     if (args->command == "shutdown") return cmd_shutdown(*args);
     if (args->command == "smoke") return cmd_smoke(*args);
     if (args->command == "probe-reject") return cmd_probe_reject(*args);

@@ -18,6 +18,10 @@ Enforces conventions clang-tidy cannot express:
   cout            no std::cout/std::cerr inside src/ (library code reports
                   through return values, obs metrics, or exceptions; the
                   CLI/bench/example binaries may print)
+  printf          no raw printf/fprintf/puts/fputs inside src/ — library
+                  and service code logs through obs/log.h (structured,
+                  leveled, rid-correlated); the logger's own stderr sink
+                  carries the one waiver
   catch-all       no `catch (...)` that swallows without rethrowing
   cmake-naming    library targets in src/ are named defrag_<dir>, and
                   ctest names registered via add_test() are [a-z0-9_]+
@@ -119,7 +123,8 @@ def strip_comments_and_strings(text):
 
 
 CHECK_NAMES = ("metric-docs", "header-pragma", "header-iwyu", "raw-new",
-               "rand", "cout", "catch-all", "cmake-naming", "stale-waiver")
+               "rand", "cout", "printf", "catch-all", "cmake-naming",
+               "stale-waiver")
 
 WAIVER_RE = re.compile(r"defrag-lint:\s*allow=([a-z-]+)")
 
@@ -245,6 +250,8 @@ class Linter:
         raw_delete_re = re.compile(r"\bdelete(\[\])?\s+[A-Za-z_]")
         rand_re = re.compile(r"\b(?:s?rand)\s*\(")
         cout_re = re.compile(r"\bstd::c(?:out|err)\b")
+        # \b keeps snprintf/vsnprintf (string formatting, no I/O) legal.
+        printf_re = re.compile(r"\b(?:std::)?(?:v?f?printf|puts|fputs)\s*\(")
         catch_all_re = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
         for path in cpp_files():
             text = path.read_text(encoding="utf-8")
@@ -268,6 +275,11 @@ class Linter:
                                     "std::cout/std::cerr in library code; "
                                     "report via obs metrics, return values "
                                     "or exceptions", lines)
+                    if printf_re.search(ln):
+                        self.report("printf", path, i,
+                                    "raw printf-family I/O in library code; "
+                                    "log through obs/log.h (structured, "
+                                    "rid-correlated) instead", lines)
                 m = catch_all_re.search(ln)
                 if m:
                     # The handler must rethrow: look for `throw;` within the

@@ -1,23 +1,29 @@
 #!/bin/sh
-# End-to-end smoke test for defrag-serve + defrag-client (the service_smoke
-# ctest entry; runs in every CI job's ctest pass, including TSan).
+# End-to-end smoke test for defrag-serve + defrag-client + defrag-top (the
+# service_smoke ctest entry; runs in every CI job's ctest pass, including
+# TSan).
 #
-#   service_smoke.sh <defrag-serve> <defrag-client> <scratch-dir>
+#   service_smoke.sh <defrag-serve> <defrag-client> <scratch-dir> [defrag-top]
 #
 # Exercises, in order: concurrent multi-tenant backup/restore round trips
 # with bit-identical verification (2 tenants x 4 sessions = 8 concurrent
-# sessions), admission-control rejection of over-quota sessions, the
-# metrics export carrying per-tenant service scopes, graceful shutdown via
-# the SHUTDOWN request, and graceful shutdown via SIGTERM.
+# sessions), live introspection (defrag-client stats/health + one
+# defrag-top snapshot) matching the observed load, admission-control
+# rejection of over-quota sessions, the metrics export carrying per-tenant
+# service scopes and per-request latency histograms, structured JSON-lines
+# logging, the drain-time --metrics-json/--trace-out exports, and graceful
+# shutdown via the SHUTDOWN request and via SIGTERM.
 set -eu
 
 SERVE=$1
 CLIENT=$2
 SCRATCH=$3
+TOP=${4:-}
 
 # sockaddr_un paths are capped at ~107 bytes; the build dir can exceed
 # that, so sockets live in /tmp.
 SOCK="/tmp/defrag-smoke-$$.sock"
+LOG="$SCRATCH/service_smoke_log.jsonl"
 
 cleanup() {
     [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null
@@ -38,8 +44,13 @@ wait_for_socket() {
     done
 }
 
-echo "== start defrag-serve"
-"$SERVE" run --socket "$SOCK" --max-sessions 8 --per-tenant 4 &
+echo "== start defrag-serve (JSON logs, drain-time exports)"
+DRAIN_METRICS="$SCRATCH/service_smoke_drain_metrics.json"
+DRAIN_TRACE="$SCRATCH/service_smoke_trace.json"
+"$SERVE" run --socket "$SOCK" --max-sessions 8 --per-tenant 4 \
+    --log-level info --log-json --slow-ms 0 \
+    --metrics-json "$DRAIN_METRICS" --trace-out "$DRAIN_TRACE" \
+    2> "$LOG" &
 SERVE_PID=$!
 wait_for_socket
 
@@ -47,10 +58,26 @@ echo "== concurrent multi-tenant backup/restore (2 tenants x 4 sessions)"
 "$CLIENT" smoke --socket "$SOCK" --tenants 2 --sessions 4 \
     --generations 2 --files 8
 
+echo "== live stats/health reflect the load just served"
+STATS="$SCRATCH/service_smoke_stats.txt"
+"$CLIENT" stats --socket "$SOCK" | tee "$STATS"
+grep -q 'accepted' "$STATS"
+grep -q 'tenant-0' "$STATS"
+grep -q 'tenant-1' "$STATS"
+"$CLIENT" health --socket "$SOCK" | grep -q 'SERVING'
+
+if [ -n "$TOP" ]; then
+    echo "== defrag-top snapshot (--iterations 1 --no-clear)"
+    TOPOUT="$SCRATCH/service_smoke_top.txt"
+    "$TOP" --socket "$SOCK" --iterations 1 --no-clear | tee "$TOPOUT"
+    grep -q 'defrag-serve' "$TOPOUT"
+    grep -q 'tenant-0' "$TOPOUT"
+fi
+
 echo "== admission control: over-quota sessions are rejected cleanly"
 "$CLIENT" probe-reject --socket "$SOCK" --sessions 6 --tenant probe
 
-echo "== metrics export carries the service scopes"
+echo "== metrics export carries the service scopes + request histograms"
 METRICS="$SCRATCH/service_smoke_metrics.json"
 "$CLIENT" metrics --socket "$SOCK" --out "$METRICS"
 grep -q 'defrag.metrics.v1' "$METRICS"
@@ -58,12 +85,42 @@ grep -q 'service.sessions_accepted' "$METRICS"
 grep -q 'service.tenant.tenant_0.' "$METRICS"
 grep -q 'service.tenant.tenant_1.' "$METRICS"
 grep -q 'service.tenant.probe.rejected' "$METRICS"
+grep -q 'service.request.backup_us' "$METRICS"
+grep -q 'service.request.hello_us' "$METRICS"
 python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$METRICS"
 
 echo "== graceful shutdown via SHUTDOWN request"
 "$CLIENT" shutdown --socket "$SOCK"
 wait "$SERVE_PID"
 SERVE_PID=""
+
+echo "== structured log is valid JSON-lines and carries request ids"
+# Sanitizer or libc diagnostics may interleave on stderr; validate only
+# the logger's own lines (they start with '{').
+python3 - "$LOG" <<'EOF'
+import json, sys
+events, rid_lines = set(), 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        assert "ts" in rec and "level" in rec and "event" in rec, rec
+        events.add(rec["event"])
+        if "rid" in rec:
+            rid_lines += 1
+assert "serve.listening" in events, events
+assert "session.start" in events, events
+assert "session.backup" in events, events
+assert rid_lines > 0, "no log line carried a request id"
+EOF
+
+echo "== drain-time exports were written and parse"
+grep -q 'defrag.metrics.v1' "$DRAIN_METRICS"
+grep -q 'traceEvents' "$DRAIN_TRACE"
+python3 -c "import json, sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
+    "$DRAIN_METRICS" "$DRAIN_TRACE"
 
 echo "== graceful shutdown via SIGTERM (mid-session)"
 SOCK="/tmp/defrag-smoke-$$-b.sock"
