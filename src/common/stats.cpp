@@ -4,6 +4,8 @@
 #include <bit>
 #include <sstream>
 
+#include "common/check.h"
+
 namespace defrag {
 
 void RunningStats::add(double x) {
@@ -48,7 +50,14 @@ void Log2Histogram::add(std::uint64_t value) {
 double Log2Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  // For total_ near 2^64, double(total_ - 1) rounds UP to 2^64 and the
+  // u64 cast of q * that is UB (float-cast-overflow under UBSan). Clamp in
+  // floating point first; bulk ingestion via add_count()/add_zeros() makes
+  // such totals reachable from parsed snapshots, not just hypothetical.
+  const double limit = static_cast<double>(total_ - 1);
+  const double scaled = q * limit;
+  const std::uint64_t target =
+      scaled >= limit ? total_ - 1 : static_cast<std::uint64_t>(scaled);
   std::uint64_t seen = zeros_;
   if (seen > target) return 0.0;
   for (int i = 0; i < kBuckets; ++i) {
@@ -61,6 +70,17 @@ double Log2Histogram::quantile(double q) const {
   // Unreachable while every add lands in a bucket; clamp to the last
   // bucket's midpoint rather than inventing a 2^40 value.
   return 1.5 * std::pow(2.0, kBuckets - 1);
+}
+
+void Log2Histogram::add_count(int i, std::uint64_t count) {
+  DEFRAG_CHECK_MSG(i >= 0 && i < kBuckets, "log2 bucket index out of range");
+  counts_[static_cast<std::size_t>(i)] += count;
+  total_ += count;
+}
+
+void Log2Histogram::add_zeros(std::uint64_t count) {
+  zeros_ += count;
+  total_ += count;
 }
 
 void Log2Histogram::merge(const Log2Histogram& other) {

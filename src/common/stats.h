@@ -55,6 +55,15 @@ class Log2Histogram {
   /// Merge another histogram into this one (parallel reduction).
   void merge(const Log2Histogram& other);
 
+  /// Bulk-ingest `count` samples into bucket `i` (reconstruction from a
+  /// serialized snapshot, e.g. a parsed defrag.metrics.v1 document).
+  /// Throws CheckFailure on a bucket index outside [0, kBuckets) — callers
+  /// ingesting untrusted data validate the index first.
+  void add_count(int i, std::uint64_t count);
+
+  /// Bulk-ingest `count` zero-valued samples (snapshot reconstruction).
+  void add_zeros(std::uint64_t count);
+
   std::string to_string() const;
 
  private:

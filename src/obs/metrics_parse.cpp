@@ -1,0 +1,357 @@
+#include "obs/metrics_parse.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace defrag::obs {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw MetricsParseError("metrics json: " + what);
+}
+
+/// Character-level cursor over the document. Every read is bounds-checked;
+/// there is no recursion anywhere in the parser (the schema's nesting depth
+/// is fixed), so hostile input can neither overrun nor exhaust the stack.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of document");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (at_end() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// JSON string including both quotes; the length cap is enforced while
+  /// accumulating, before any oversized buffer can build up.
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (out.size() >= kMaxMetricsString) fail("string exceeds length cap");
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // The writer only \u-escapes control characters; reject anything
+          // beyond latin-1 rather than growing a UTF-8 encoder here.
+          if (v > 0xff) fail("\\u escape outside latin-1");
+          out += static_cast<char>(v);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  /// JSON number token. Returns the double value; *as_u64 is set when the
+  /// token is a plain non-negative integer that fits in 64 bits.
+  double number(std::uint64_t* as_u64, bool* is_u64) {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const std::string_view tok = s_.substr(start, pos_ - start);
+    if (tok.empty()) fail("expected a number");
+    double d = 0.0;
+    const auto [dp, derr] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (derr != std::errc() || dp != tok.data() + tok.size()) {
+      fail("malformed number");
+    }
+    *is_u64 = false;
+    *as_u64 = 0;
+    if (tok.find_first_not_of("0123456789") == std::string_view::npos) {
+      std::uint64_t u = 0;
+      const auto [up, uerr] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (uerr == std::errc() && up == tok.data() + tok.size()) {
+        *is_u64 = true;
+        *as_u64 = u;
+      }
+    }
+    return d;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// One parsed scalar-or-buckets value inside a metric object.
+struct Value {
+  enum class Kind { kNumber, kString, kBuckets } kind = Kind::kNumber;
+  double num = 0.0;
+  std::uint64_t uint = 0;
+  bool is_uint = false;
+  std::string str;
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+};
+
+Value parse_value(Cursor& c, std::string_view key) {
+  Value v;
+  const char head = c.peek();
+  if (head == '"') {
+    v.kind = Value::Kind::kString;
+    v.str = c.string();
+    return v;
+  }
+  if (head == '[') {
+    if (key != "buckets") fail("unexpected array value");
+    c.expect('[');
+    v.kind = Value::Kind::kBuckets;
+    if (!c.consume(']')) {
+      int prev = -1;
+      while (true) {
+        c.expect('[');
+        std::uint64_t bucket_u = 0;
+        bool bucket_ok = false;
+        c.number(&bucket_u, &bucket_ok);
+        if (!bucket_ok ||
+            bucket_u >= static_cast<std::uint64_t>(Log2Histogram::kBuckets)) {
+          fail("bucket index out of range");
+        }
+        const int bucket = static_cast<int>(bucket_u);
+        if (bucket <= prev) fail("bucket indices must strictly increase");
+        prev = bucket;
+        c.expect(',');
+        std::uint64_t count = 0;
+        bool count_ok = false;
+        c.number(&count, &count_ok);
+        if (!count_ok || count == 0) fail("bucket count must be a positive "
+                                          "integer");
+        c.expect(']');
+        v.buckets.emplace_back(bucket, count);
+        if (c.consume(']')) break;
+        c.expect(',');
+      }
+    }
+    return v;
+  }
+  v.kind = Value::Kind::kNumber;
+  v.num = c.number(&v.uint, &v.is_uint);
+  return v;
+}
+
+/// The key->value map of one JSON object of scalars ({"type": ..., ...}).
+std::map<std::string, Value> parse_flat_object(Cursor& c) {
+  std::map<std::string, Value> out;
+  c.expect('{');
+  if (c.consume('}')) return out;
+  while (true) {
+    std::string key = c.string();
+    c.expect(':');
+    Value v = parse_value(c, key);
+    if (!out.emplace(std::move(key), std::move(v)).second) {
+      fail("duplicate key in metric object");
+    }
+    if (c.consume('}')) return out;
+    c.expect(',');
+  }
+}
+
+const Value& require(const std::map<std::string, Value>& obj,
+                     const std::string& key, Value::Kind kind,
+                     std::size_t* consumed) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) fail("missing key '" + key + "'");
+  if (it->second.kind != kind) fail("wrong type for key '" + key + "'");
+  ++*consumed;
+  return it->second;
+}
+
+std::uint64_t require_u64(const std::map<std::string, Value>& obj,
+                          const std::string& key, std::size_t* consumed) {
+  const Value& v = require(obj, key, Value::Kind::kNumber, consumed);
+  if (!v.is_uint) fail("key '" + key + "' must be a non-negative integer");
+  return v.uint;
+}
+
+double require_num(const std::map<std::string, Value>& obj,
+                   const std::string& key, std::size_t* consumed) {
+  return require(obj, key, Value::Kind::kNumber, consumed).num;
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char ch : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(ch)) != 0 ||
+                    ch == '.' || ch == '_' || ch == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+ParsedMetric parse_metric(const std::string& name,
+                          const std::map<std::string, Value>& obj) {
+  ParsedMetric m;
+  m.name = name;
+  std::size_t consumed = 0;
+  const std::string& type =
+      require(obj, "type", Value::Kind::kString, &consumed).str;
+  if (type == "counter") {
+    m.kind = MetricKind::kCounter;
+    m.counter = require_u64(obj, "value", &consumed);
+  } else if (type == "gauge") {
+    m.kind = MetricKind::kGauge;
+    m.gauge = require_num(obj, "value", &consumed);
+  } else if (type == "histogram") {
+    m.kind = MetricKind::kHistogram;
+    ParsedHistogram& h = m.hist;
+    h.count = require_u64(obj, "count", &consumed);
+    h.sum = require_num(obj, "sum", &consumed);
+    h.mean = require_num(obj, "mean", &consumed);
+    h.stddev = require_num(obj, "stddev", &consumed);
+    h.min = require_num(obj, "min", &consumed);
+    h.max = require_num(obj, "max", &consumed);
+    h.p50 = require_num(obj, "p50", &consumed);
+    h.p90 = require_num(obj, "p90", &consumed);
+    h.p99 = require_num(obj, "p99", &consumed);
+    h.zeros = require_u64(obj, "zeros", &consumed);
+    const Value& buckets =
+        require(obj, "buckets", Value::Kind::kBuckets, &consumed);
+    // Cross-field consistency before reconstruction: every observe() lands
+    // in exactly one bucket (or zeros), so the exported pieces must sum to
+    // the exported count. Overflow-safe: each term is <= count or the sum
+    // check below fails anyway.
+    std::uint64_t total = h.zeros;
+    for (const auto& [bucket, count] : buckets.buckets) {
+      if (count > h.count || total > h.count - count) {
+        fail("bucket counts exceed histogram count");
+      }
+      total += count;
+    }
+    if (total != h.count) fail("bucket counts disagree with histogram count");
+    h.buckets.add_zeros(h.zeros);
+    for (const auto& [bucket, count] : buckets.buckets) {
+      h.buckets.add_count(bucket, count);
+    }
+  } else {
+    fail("unknown metric type '" + type + "'");
+  }
+  if (consumed != obj.size()) fail("unexpected key in metric object");
+  return m;
+}
+
+}  // namespace
+
+const ParsedMetric* ParsedMetricsDocument::find(std::string_view name) const {
+  for (const ParsedMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+ParsedMetricsDocument parse_metrics_v1(std::string_view json) {
+  Cursor c(json);
+  ParsedMetricsDocument doc;
+  c.expect('{');
+  bool saw_schema = false;
+  bool saw_metrics = false;
+  if (!c.consume('}')) {
+    while (true) {
+      const std::string key = c.string();
+      c.expect(':');
+      if (key == "schema") {
+        if (saw_schema) fail("duplicate schema key");
+        saw_schema = true;
+        if (c.string() != "defrag.metrics.v1") fail("unknown schema");
+      } else if (key == "metrics") {
+        if (saw_metrics) fail("duplicate metrics key");
+        saw_metrics = true;
+        c.expect('{');
+        if (!c.consume('}')) {
+          while (true) {
+            const std::string name = c.string();
+            if (!valid_metric_name(name)) fail("illegal metric name");
+            if (doc.find(name) != nullptr) fail("duplicate metric name");
+            c.expect(':');
+            doc.metrics.push_back(parse_metric(name, parse_flat_object(c)));
+            if (c.consume('}')) break;
+            c.expect(',');
+          }
+        }
+      } else {
+        fail("unknown top-level key '" + key + "'");
+      }
+      if (c.consume('}')) break;
+      c.expect(',');
+    }
+  }
+  if (!saw_schema) fail("missing schema key");
+  if (!saw_metrics) fail("missing metrics key");
+  if (!c.at_end()) fail("trailing bytes after document");
+  return doc;
+}
+
+}  // namespace defrag::obs

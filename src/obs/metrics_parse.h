@@ -1,0 +1,87 @@
+// Ingestion side of the defrag.metrics.v1 schema: parse a JSON document
+// produced by write_metrics_json() back into typed metric values.
+//
+// write_metrics_json() is the ONE serializer (defrag-cli, bench harness,
+// defrag-serve METRICS responses and drain exports); until now the only
+// consumer was tools/metrics_diff.py. This module gives C++ code the same
+// capability — a future in-process metrics diff, a defrag-client that
+// renders METRICS responses, tests that assert on exported snapshots — and
+// because those documents cross the service wire (METRICS_JSON frames from
+// a possibly hostile peer), the parser is written to the same standard as
+// wire.h: strictly bounded recursion, every count validated before it sizes
+// anything, arbitrary bytes either parse or throw MetricsParseError (never
+// CheckFailure, never UB). tests/fuzz/fuzz_metrics_json.cpp feeds it
+// arbitrary input.
+//
+// The parser is deliberately schema-directed, not a general JSON DOM: it
+// accepts exactly the shape the writer emits (object keys in any order,
+// duplicates rejected) and enforces cross-field consistency — a histogram's
+// bucket counts plus zeros must sum to its count, bucket indices must be
+// in-range and strictly increasing with nonzero counts, metric names must
+// be registry-legal. A document that passes is safe to feed back into
+// Log2Histogram reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace defrag::obs {
+
+/// Malformed or schema-violating metrics document. Analogous to the
+/// service layer's WireError: a data problem, not a bug in this process.
+class MetricsParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Longest accepted JSON string (metric names and the schema marker are
+/// short; anything longer is hostile). Checked before accumulation.
+inline constexpr std::size_t kMaxMetricsString = 4096;
+
+/// One histogram's exported summary plus its reconstructed bucket state.
+struct ParsedHistogram {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t zeros = 0;
+  /// Rebuilt from the exported [bucket, count] pairs and zeros via
+  /// Log2Histogram::add_count/add_zeros; buckets.count() == count holds for
+  /// every successfully parsed document.
+  Log2Histogram buckets;
+};
+
+struct ParsedMetric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  // kCounter
+  double gauge = 0.0;         // kGauge
+  ParsedHistogram hist;       // kHistogram
+};
+
+/// A parsed defrag.metrics.v1 document: entries in document order (the
+/// writer emits them name-sorted; the parser rejects duplicate names but
+/// does not require sortedness).
+struct ParsedMetricsDocument {
+  std::vector<ParsedMetric> metrics;
+
+  /// Entry by exact name, or nullptr.
+  const ParsedMetric* find(std::string_view name) const;
+};
+
+/// Parse a defrag.metrics.v1 JSON document. Throws MetricsParseError on
+/// anything that is not a well-formed instance of the schema.
+ParsedMetricsDocument parse_metrics_v1(std::string_view json);
+
+}  // namespace defrag::obs

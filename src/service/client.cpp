@@ -20,8 +20,11 @@ constexpr std::uint64_t kBackupDataChunk = 4ull << 20;
 
 }  // namespace
 
-Client::Client(const std::string& socket_path, const std::string& tenant)
-    : conn_(connect_unix(socket_path)), tenant_(tenant) {
+Client::Client(const std::string& socket_path, const std::string& tenant,
+               std::uint64_t max_restore_bytes)
+    : conn_(connect_unix(socket_path)),
+      tenant_(tenant),
+      max_restore_bytes_(max_restore_bytes) {
   HelloRequest hello;
   hello.tenant = tenant_;
   conn_.send_frame(encode(hello));
@@ -71,6 +74,11 @@ Bytes Client::restore(std::uint32_t backup_id, RestoreDoneResponse* done) {
     const FrameType type = frame_type(*payload);
     const ByteView body = frame_body(*payload);
     if (type == FrameType::kRestoreData) {
+      // Checked before the insert grows `out`: a hostile server must not
+      // be able to balloon client memory past the cap plus one frame.
+      if (body.size() > max_restore_bytes_ - out.size()) {
+        throw WireError("restore stream exceeds the restore-bytes cap");
+      }
       out.insert(out.end(), body.begin(), body.end());
       continue;
     }

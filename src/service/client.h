@@ -30,12 +30,23 @@ class RemoteError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Upper bound on the bytes a restore will accumulate from RESTORE_DATA
+/// frames. Mirrors the server's per-backup ingest cap (session.h
+/// kMaxBackupBytes): no honest server can stream more, so a longer stream
+/// means a hostile or broken server and the client must fail with
+/// WireError instead of growing without bound.
+inline constexpr std::uint64_t kMaxRestoreBytes = 1ull << 30;
+
 class Client {
  public:
   /// Connect and HELLO as `tenant`. Throws SocketError (no server),
   /// RejectedError (admission refused) or WireError (protocol breakage).
   /// On success the server's HELLO_OK id is available via session_id().
-  Client(const std::string& socket_path, const std::string& tenant);
+  /// `max_restore_bytes` lowers the restore-stream cap below the default
+  /// (embedded tools with tighter memory budgets; tests exercise the cap
+  /// without streaming a gigabyte).
+  Client(const std::string& socket_path, const std::string& tenant,
+         std::uint64_t max_restore_bytes = kMaxRestoreBytes);
   Client(Client&&) noexcept = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -78,6 +89,7 @@ class Client {
   Conn conn_;
   std::string tenant_;
   std::uint64_t session_id_ = 0;
+  std::uint64_t max_restore_bytes_ = kMaxRestoreBytes;
 };
 
 /// One-shot introspection over a fresh connection, no HELLO: the server

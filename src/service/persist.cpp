@@ -1,0 +1,122 @@
+#include "service/persist.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+#include "service/wire.h"
+#include "storage/catalog.h"
+#include "storage/container.h"
+#include "storage/recipe.h"
+
+namespace defrag::service {
+
+namespace {
+
+void expect_header(WireReader& r, std::uint32_t magic, const char* what) {
+  if (r.u32() != magic) throw WireError(std::string(what) + ": bad magic");
+  if (r.u8() != kPersistVersion) {
+    throw WireError(std::string(what) + ": unsupported version");
+  }
+}
+
+}  // namespace
+
+Bytes encode_recipe(const Recipe& recipe) {
+  if (recipe.entries().size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw WireError("recipe entry count exceeds wire limit");
+  }
+  Bytes out;
+  out.reserve(16 + recipe.label().size() +
+              recipe.entries().size() * kRecipeEntryWireSize);
+  WireWriter w(out);
+  w.u32(kRecipeMagic);
+  w.u8(kPersistVersion);
+  w.str(recipe.label());
+  w.u32(static_cast<std::uint32_t>(recipe.entries().size()));
+  for (const RecipeEntry& e : recipe.entries()) {
+    w.raw(ByteView(e.fp.bytes.data(), e.fp.bytes.size()));
+    w.u32(e.location.container);
+    w.u32(e.location.offset);
+    w.u32(e.location.size);
+  }
+  return out;
+}
+
+Recipe decode_recipe(ByteView data) {
+  WireReader r(data);
+  expect_header(r, kRecipeMagic, "recipe");
+  Recipe recipe(r.str());
+  const std::uint32_t count = r.u32();
+  // The count sizes the entries vector; entries are fixed-width, so the cap
+  // is exact: more entries than the remaining bytes hold is hostile. This
+  // check MUST precede any reserve/resize sized by `count`.
+  if (count > r.remaining() / kRecipeEntryWireSize) {
+    throw WireError("recipe entry count exceeds body size");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RecipeEntry e;
+    const ByteView fp = r.bytes(e.fp.bytes.size());
+    std::copy(fp.begin(), fp.end(), e.fp.bytes.begin());
+    e.location.container = r.u32();
+    e.location.offset = r.u32();
+    e.location.size = r.u32();
+    recipe.add(e.fp, e.location);
+  }
+  r.done();
+  return recipe;
+}
+
+Bytes encode_catalog(const GenerationCatalog& catalog) {
+  if (catalog.entries().size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw WireError("catalog entry count exceeds wire limit");
+  }
+  Bytes out;
+  WireWriter w(out);
+  w.u32(kCatalogMagic);
+  w.u8(kPersistVersion);
+  w.u32(static_cast<std::uint32_t>(catalog.entries().size()));
+  for (const CatalogEntry& e : catalog.entries()) {
+    w.str(e.path);
+    w.u64(e.stream_offset);
+    w.u64(e.size);
+  }
+  return out;
+}
+
+GenerationCatalog decode_catalog(ByteView data) {
+  WireReader r(data);
+  expect_header(r, kCatalogMagic, "catalog");
+  const std::uint32_t count = r.u32();
+  // Cap before any loop driven by the untrusted count: each entry consumes
+  // at least kCatalogEntryMinWireSize bytes of body.
+  if (count > r.remaining() / kCatalogEntryMinWireSize) {
+    throw WireError("catalog entry count exceeds body size");
+  }
+  GenerationCatalog catalog;
+  std::uint64_t next_free = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string path = r.str();
+    const std::uint64_t offset = r.u64();
+    const std::uint64_t size = r.u64();
+    // GenerationCatalog::add CHECK-fails on out-of-order entries; hostile
+    // bytes must surface as WireError instead, and an offset+size overflow
+    // would let a later entry appear "in order" while wrapping.
+    if (offset < next_free) {
+      throw WireError("catalog entries out of stream order");
+    }
+    if (size > std::numeric_limits<std::uint64_t>::max() - offset) {
+      throw WireError("catalog entry overflows the stream");
+    }
+    next_free = offset + size;
+    catalog.add(std::move(path), offset, size);
+  }
+  r.done();
+  return catalog;
+}
+
+}  // namespace defrag::service

@@ -1,0 +1,56 @@
+// Durable wire encoding for recipes and file catalogs.
+//
+// The service keeps committed recipes in memory (TenantCatalog); the
+// ROADMAP's crash-consistency item needs them to survive a daemon restart.
+// This module gives Recipe and GenerationCatalog a stable, versioned binary
+// form built from the same wire primitives the socket protocol uses — and
+// therefore hardened the same way: every length/count is capped *before*
+// any allocation it sizes, decode(encode(x)) round-trips exactly, and any
+// malformed byte sequence throws WireError (never CheckFailure, never UB).
+// The fuzz harness tests/fuzz/fuzz_persist.cpp feeds these decoders
+// arbitrary bytes.
+//
+// Layout (all little-endian, strings length-prefixed as in wire.h):
+//
+//   recipe  := magic u32 | version u8 | label str | count u32
+//              | count * (fp[20] | container u32 | offset u32 | size u32)
+//   catalog := magic u32 | version u8 | count u32
+//              | count * (path str | stream_offset u64 | size u64)
+//
+// Catalog entries must be in stream order (offsets non-decreasing, matching
+// GenerationCatalog::add's contract); the decoder enforces this and rejects
+// violations as WireError so hostile input can never trip a DEFRAG_CHECK.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "storage/catalog.h"
+#include "storage/recipe.h"
+
+namespace defrag::service {
+
+inline constexpr std::uint32_t kRecipeMagic = 0x31524644;   // "DFR1"
+inline constexpr std::uint32_t kCatalogMagic = 0x31434644;  // "DFC1"
+inline constexpr std::uint8_t kPersistVersion = 1;
+
+/// Fixed wire size of one recipe entry (fp + container + offset + size).
+inline constexpr std::uint32_t kRecipeEntryWireSize = 20 + 4 + 4 + 4;
+/// Minimum wire size of one catalog entry (empty path + offset + size).
+inline constexpr std::uint32_t kCatalogEntryMinWireSize = 4 + 8 + 8;
+
+Bytes encode_recipe(const Recipe& recipe);
+
+/// Decode a recipe. Throws WireError on bad magic/version, truncation,
+/// trailing bytes, or an entry count larger than the body could hold (the
+/// count is validated against the remaining bytes before any reserve).
+Recipe decode_recipe(ByteView data);
+
+Bytes encode_catalog(const GenerationCatalog& catalog);
+
+/// Decode a file catalog. Same hostile-input guarantees as decode_recipe,
+/// plus stream-order validation (offsets non-decreasing, no overlap) so the
+/// result always satisfies GenerationCatalog::add's precondition.
+GenerationCatalog decode_catalog(ByteView data);
+
+}  // namespace defrag::service

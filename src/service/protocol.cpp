@@ -25,6 +25,10 @@ Bytes with_type(FrameType t) {
 }  // namespace
 
 std::string to_string(FrameType t) {
+  // Pure formatter for error/log text; unknown values render as "UNKNOWN"
+  // below. Decode-time rejection happens in frame_type() via known_type(),
+  // which the fuzz harnesses pin.
+  // defrag-lint: allow=wire-enum-switch — formatter, not a decode path
   switch (t) {
     case FrameType::kHello: return "HELLO";
     case FrameType::kBackupBegin: return "BACKUP_BEGIN";

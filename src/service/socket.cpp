@@ -97,6 +97,9 @@ std::optional<Bytes> Conn::recv_frame() {
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
   }
+  // The cap check MUST precede the allocation it sizes: a hostile header
+  // claiming kMaxFramePayload+1 is rejected having read only 4 bytes
+  // (tests/service/test_socket_hostile.cpp pins this order).
   if (len == 0) throw WireError("zero-length frame");
   if (len > kMaxFramePayload) throw WireError("frame length exceeds cap");
   Bytes payload(len);

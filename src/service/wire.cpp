@@ -67,6 +67,10 @@ std::uint64_t WireReader::u64() {
 
 std::string WireReader::str() {
   const std::uint32_t len = u32();
+  // Order matters: the cap check and the underrun check both run BEFORE the
+  // std::string below allocates `len` bytes, so a hostile length prefix is
+  // rejected on a bounded-memory path (tests/service/test_wire.cpp pins
+  // this; tests/fuzz/fuzz_wire.cpp hammers it).
   if (len > kMaxWireString) {
     throw WireError("string length exceeds wire limit");
   }
@@ -74,6 +78,13 @@ std::string WireReader::str() {
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
   pos_ += len;
   return s;
+}
+
+ByteView WireReader::bytes(std::size_t n) {
+  need(n);
+  const ByteView r = data_.subspan(pos_, n);
+  pos_ += n;
+  return r;
 }
 
 ByteView WireReader::rest() {

@@ -70,6 +70,9 @@ class WireReader {
   std::uint32_t u32();
   std::uint64_t u64();
   std::string str();
+  /// Exactly `n` raw bytes (a fixed-width field such as a fingerprint).
+  /// Throws WireError on underrun; never reads past the body.
+  ByteView bytes(std::size_t n);
   /// Everything not yet consumed.
   ByteView rest();
   std::size_t remaining() const { return data_.size() - pos_; }

@@ -163,6 +163,34 @@ TEST(Log2HistogramTest, QuantileApproximatesMedian) {
   EXPECT_LE(med, 16384.0);
 }
 
+TEST(Log2HistogramTest, BulkIngestMatchesIncrementalAdds) {
+  Log2Histogram incremental;
+  for (int i = 0; i < 7; ++i) incremental.add(100);  // bucket 6
+  for (int i = 0; i < 3; ++i) incremental.add(0);
+
+  Log2Histogram bulk;
+  bulk.add_count(6, 7);
+  bulk.add_zeros(3);
+
+  EXPECT_EQ(bulk.count(), incremental.count());
+  EXPECT_EQ(bulk.zeros(), incremental.zeros());
+  EXPECT_EQ(bulk.bucket(6), incremental.bucket(6));
+  EXPECT_DOUBLE_EQ(bulk.quantile(0.5), incremental.quantile(0.5));
+}
+
+TEST(Log2HistogramTest, QuantileNearUint64MaxTotalHasNoCastOverflow) {
+  // Bulk ingestion makes totals near 2^64 reachable (e.g. from a parsed
+  // snapshot). double(total - 1) then rounds UP to 2^64, and before the
+  // clamp in quantile() the u64 cast of q * that was UB under UBSan.
+  Log2Histogram h;
+  h.add_count(3, 0xffffffffffffffffull - 10);
+  h.add_zeros(10);
+  const double q1 = h.quantile(1.0);
+  EXPECT_DOUBLE_EQ(q1, 1.5 * 8.0);  // midpoint of [2^3, 2^4)
+  EXPECT_GE(h.quantile(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // the zeros rank first
+}
+
 TEST(PercentileTest, ExactValues) {
   std::vector<double> v = {1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);

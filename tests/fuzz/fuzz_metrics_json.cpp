@@ -1,0 +1,58 @@
+// Fuzz harness: defrag.metrics.v1 ingestion (obs/metrics_parse.h).
+//
+// METRICS_JSON frames cross the service wire, so the C++ side of the
+// schema must treat the document as untrusted. Arbitrary bytes either
+// parse or throw MetricsParseError; a successful parse must satisfy the
+// schema's cross-field invariants, and every reconstructed Log2Histogram
+// must be internally consistent (counts add up, quantiles finite and
+// monotone, self-merge doubles cleanly).
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+#include "common/stats.h"
+#include "fuzz/fuzz_util.h"
+#include "obs/metrics.h"
+#include "obs/metrics_parse.h"
+
+using defrag::Log2Histogram;
+using defrag::obs::MetricKind;
+using defrag::obs::MetricsParseError;
+using defrag::obs::ParsedMetric;
+using defrag::obs::ParsedMetricsDocument;
+using defrag::obs::parse_metrics_v1;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view json(reinterpret_cast<const char*>(data), size);
+  try {
+    const ParsedMetricsDocument doc = parse_metrics_v1(json);
+    for (const ParsedMetric& m : doc.metrics) {
+      FUZZ_ASSERT(!m.name.empty());
+      FUZZ_ASSERT(doc.find(m.name) != nullptr);
+      if (m.kind != MetricKind::kHistogram) continue;
+      const Log2Histogram& h = m.hist.buckets;
+      // Reconstruction accounting: zeros + bucket counts == count, exactly.
+      FUZZ_ASSERT(h.count() == m.hist.count);
+      FUZZ_ASSERT(h.zeros() == m.hist.zeros);
+      std::uint64_t bucket_total = 0;
+      for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+        bucket_total += h.bucket(i);
+      }
+      FUZZ_ASSERT(bucket_total + h.zeros() == h.count());
+      // Quantiles over arbitrary reconstructed shapes: finite, monotone.
+      const double q50 = h.quantile(0.5);
+      const double q99 = h.quantile(0.99);
+      FUZZ_ASSERT(std::isfinite(q50) && std::isfinite(q99));
+      FUZZ_ASSERT(q50 >= 0.0 && q99 >= q50);
+      // Self-merge must double every count without tripping any check.
+      Log2Histogram doubled = h;
+      doubled.merge(h);
+      FUZZ_ASSERT(doubled.count() == 2 * h.count());
+      FUZZ_ASSERT(doubled.zeros() == 2 * h.zeros());
+    }
+  } catch (const MetricsParseError&) {
+    // The one acceptable failure mode for hostile documents.
+  }
+  return 0;
+}

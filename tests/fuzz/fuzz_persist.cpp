@@ -1,0 +1,70 @@
+// Fuzz harness: recipe/catalog deserialization (service/persist.h).
+//
+// Arbitrary bytes are offered to both decoders. A successful decode must
+// (a) be byte-canonical — re-encoding reproduces the input exactly — and
+// (b) yield an object whose own invariants hold (logical byte accounting,
+// catalog stream order), proving hostile input can never smuggle an
+// inconsistent recipe or catalog past the decoder into a DEFRAG_CHECK.
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "fuzz/fuzz_util.h"
+#include "service/persist.h"
+#include "service/wire.h"
+#include "storage/catalog.h"
+#include "storage/recipe.h"
+
+using defrag::Bytes;
+using defrag::ByteView;
+using defrag::CatalogEntry;
+using defrag::GenerationCatalog;
+using defrag::Recipe;
+using defrag::RecipeEntry;
+using namespace defrag::service;
+
+namespace {
+
+void expect_identical(const Bytes& reencoded, ByteView input) {
+  FUZZ_ASSERT(reencoded.size() == input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    FUZZ_ASSERT(reencoded[i] == input[i]);
+  }
+}
+
+void try_recipe(ByteView input) {
+  try {
+    const Recipe recipe = decode_recipe(input);
+    std::uint64_t logical = 0;
+    for (const RecipeEntry& e : recipe.entries()) logical += e.location.size;
+    FUZZ_ASSERT(recipe.logical_bytes() == logical);
+    FUZZ_ASSERT(recipe.entries().size() * kRecipeEntryWireSize <=
+                input.size());
+    expect_identical(encode_recipe(recipe), input);
+  } catch (const WireError&) {
+    // Expected for anything that is not a canonical recipe image.
+  }
+}
+
+void try_catalog(ByteView input) {
+  try {
+    const GenerationCatalog catalog = decode_catalog(input);
+    std::uint64_t next_free = 0;
+    for (const CatalogEntry& e : catalog.entries()) {
+      FUZZ_ASSERT(e.stream_offset >= next_free);
+      next_free = e.stream_offset + e.size;
+    }
+    expect_identical(encode_catalog(catalog), input);
+  } catch (const WireError&) {
+    // Expected for anything that is not a canonical catalog image.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ByteView input(data, size);
+  try_recipe(input);
+  try_catalog(input);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fuzz harness: protocol.h request parsing (the server's attack surface).
+//
+// Input is one framed payload (type byte + body), exactly what a session
+// pulls off the socket. Every request FrameType's parser runs on arbitrary
+// bodies; when a parse succeeds the message is re-encoded and must
+// reproduce the input payload byte-for-byte — the encoding is canonical
+// (fixed-width integers, length-prefixed strings), so decode(x) succeeding
+// implies encode(decode(x)) == x.
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "fuzz/fuzz_util.h"
+#include "service/protocol.h"
+#include "service/wire.h"
+
+using namespace defrag::service;
+using defrag::Bytes;
+using defrag::ByteView;
+
+namespace {
+
+void expect_identical(const Bytes& reencoded, ByteView input) {
+  FUZZ_ASSERT(reencoded.size() == input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    FUZZ_ASSERT(reencoded[i] == input[i]);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ByteView input(data, size);
+  try {
+    const FrameType type = frame_type(input);
+    const ByteView body = frame_body(input);
+    switch (type) {
+      case FrameType::kHello: {
+        const HelloRequest m = parse_hello(body);
+        FUZZ_ASSERT(!m.tenant.empty());
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kBackupBegin: {
+        const BackupBeginRequest m = parse_backup_begin(body);
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kRestore: {
+        const RestoreRequest m = parse_restore(body);
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kBackupData:
+        // Raw payload: framing is the only structure, the body is opaque.
+        expect_identical(encode_backup_data(body), input);
+        break;
+      case FrameType::kBackupEnd:
+      case FrameType::kList:
+      case FrameType::kMetrics:
+      case FrameType::kShutdown:
+      case FrameType::kStats:
+      case FrameType::kHealth:
+        parse_empty(body);
+        FUZZ_ASSERT(body.empty());
+        expect_identical(encode_empty(type), input);
+        break;
+      default:
+        // Response types are fuzz_protocol_response.cpp's job.
+        break;
+    }
+  } catch (const WireError&) {
+    // The one acceptable failure mode for hostile payloads.
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Fuzz harness: protocol.h response parsing (the CLIENT's attack surface —
+// defrag-client must survive a hostile or buggy server).
+//
+// Same shape as fuzz_protocol_request.cpp: one framed payload in, parse,
+// and on success re-encode. Every response is byte-canonical except
+// HEALTH_RESULT, whose `serving` u8 is normalized to 0/1 by the parser —
+// there the round-trip is checked structurally instead.
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "fuzz/fuzz_util.h"
+#include "service/protocol.h"
+#include "service/wire.h"
+
+using namespace defrag::service;
+using defrag::Bytes;
+using defrag::ByteView;
+
+namespace {
+
+void expect_identical(const Bytes& reencoded, ByteView input) {
+  FUZZ_ASSERT(reencoded.size() == input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    FUZZ_ASSERT(reencoded[i] == input[i]);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ByteView input(data, size);
+  try {
+    const FrameType type = frame_type(input);
+    const ByteView body = frame_body(input);
+    switch (type) {
+      case FrameType::kOk:
+        parse_empty(body);
+        expect_identical(encode_empty(type), input);
+        break;
+      case FrameType::kRejected: {
+        const std::string reason = parse_reason(body);
+        expect_identical(encode_rejected(reason), input);
+        break;
+      }
+      case FrameType::kError: {
+        const std::string reason = parse_reason(body);
+        expect_identical(encode_error(reason), input);
+        break;
+      }
+      case FrameType::kBackupDone: {
+        const BackupDoneResponse m = parse_backup_done(body);
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kRestoreData:
+        expect_identical(encode_restore_data(body), input);
+        break;
+      case FrameType::kRestoreDone: {
+        const RestoreDoneResponse m = parse_restore_done(body);
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kBackupList: {
+        const BackupListResponse m = parse_backup_list(body);
+        // The hostile-count cap must have held: entries actually decoded.
+        FUZZ_ASSERT(m.backups.size() * 16 <= body.size());
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kMetricsJson: {
+        const std::string json = parse_metrics_json(body);
+        FUZZ_ASSERT(json.size() == body.size());
+        expect_identical(encode_metrics_json(json), input);
+        break;
+      }
+      case FrameType::kHelloOk: {
+        const HelloOkResponse m = parse_hello_ok(body);
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kStatsResult: {
+        const StatsResponse m = parse_stats(body);
+        FUZZ_ASSERT(m.tenants.size() * 28 <= body.size());
+        expect_identical(encode(m), input);
+        break;
+      }
+      case FrameType::kHealthResult: {
+        const HealthResponse m = parse_health(body);
+        // `serving` accepts any nonzero byte; re-encode emits 0/1, so the
+        // round-trip here is value-level, not byte-level.
+        const Bytes reencoded = encode(m);
+        const HealthResponse m2 = parse_health(frame_body(ByteView(reencoded)));
+        FUZZ_ASSERT(m2.serving == m.serving);
+        FUZZ_ASSERT(m2.uptime_us == m.uptime_us);
+        FUZZ_ASSERT(m2.active_sessions == m.active_sessions);
+        FUZZ_ASSERT(m2.protocol_version == m.protocol_version);
+        break;
+      }
+      default:
+        // Request types are fuzz_protocol_request.cpp's job.
+        break;
+    }
+  } catch (const WireError&) {
+    // The one acceptable failure mode for hostile payloads.
+  }
+  return 0;
+}

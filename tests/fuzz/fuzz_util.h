@@ -1,0 +1,31 @@
+// Shared helpers for the fuzz harnesses in tests/fuzz/.
+//
+// Every harness is a single LLVMFuzzerTestOneInput() whose contract is:
+// arbitrary input bytes either parse (and then every asserted invariant
+// holds) or throw the decoder's documented error type — anything else
+// (crash, sanitizer report, FUZZ_ASSERT failure) is a bug. The same
+// sources build two ways (tests/fuzz/CMakeLists.txt): as true libFuzzer
+// targets under Clang with -DDEFRAG_FUZZ=ON, and as corpus-replay binaries
+// (replay_driver.cpp provides main()) everywhere else, so the checked-in
+// corpus is a permanent regression suite.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+// Abort-on-failure assert that stays armed in release builds (harnesses
+// compile with NDEBUG in RelWithDebInfo; a silent assert would make the
+// fuzzers blind). libFuzzer treats the abort as a crash and minimizes the
+// input; the replay driver reports the failing corpus file.
+#define FUZZ_ASSERT(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n", #cond,   \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

@@ -1,0 +1,95 @@
+// Fuzz harness: wire.h primitives fed raw bytes.
+//
+// Input layout: byte 0 is the op-script length (0..15), the next bytes are
+// the script (one reader op each), the rest is the frame body handed to
+// WireReader. The script drives an arbitrary interleaving of u8/u32/u64/
+// str/bytes/rest reads over the body, checking the reader's accounting
+// invariants after every op; a second pass round-trips every string the
+// body yields through WireWriter.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "fuzz/fuzz_util.h"
+#include "service/wire.h"
+
+using defrag::Bytes;
+using defrag::ByteView;
+using defrag::service::kMaxWireString;
+using defrag::service::WireError;
+using defrag::service::WireReader;
+using defrag::service::WireWriter;
+
+namespace {
+
+void run_script(ByteView script, ByteView body) {
+  WireReader r(body);
+  std::size_t last_remaining = body.size();
+  try {
+    for (const std::uint8_t op : script) {
+      switch (op % 6) {
+        case 0: r.u8(); break;
+        case 1: r.u32(); break;
+        case 2: r.u64(); break;
+        case 3: {
+          const std::string s = r.str();
+          FUZZ_ASSERT(s.size() <= kMaxWireString);
+          // Round-trip: whatever str() accepted must re-encode and decode
+          // to the same value.
+          Bytes buf;
+          WireWriter w(buf);
+          w.str(s);
+          WireReader rr{ByteView(buf)};
+          FUZZ_ASSERT(rr.str() == s);
+          rr.done();
+          break;
+        }
+        case 4: {
+          const ByteView chunk = r.bytes(op / 6u);
+          FUZZ_ASSERT(chunk.size() == op / 6u);
+          break;
+        }
+        default: {
+          const ByteView rest = r.rest();
+          FUZZ_ASSERT(rest.size() == last_remaining);
+          FUZZ_ASSERT(r.remaining() == 0);
+          break;
+        }
+      }
+      // The reader can only ever consume forward, never run past the body.
+      FUZZ_ASSERT(r.remaining() <= last_remaining);
+      last_remaining = r.remaining();
+    }
+    if (r.remaining() == 0) r.done();
+  } catch (const WireError&) {
+    // Expected outcome for truncated/hostile bodies; the invariant is that
+    // nothing BUT WireError escapes.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const ByteView input(data, size);
+  const std::size_t script_len =
+      std::min<std::size_t>(input[0] % 16u, input.size() - 1);
+  const ByteView script = input.subspan(1, script_len);
+  const ByteView body = input.subspan(1 + script_len);
+  run_script(script, body);
+
+  // done() on an unconsumed body must throw, not pass.
+  if (!body.empty()) {
+    WireReader r(body);
+    bool threw = false;
+    try {
+      r.done();
+    } catch (const WireError&) {
+      threw = true;
+    }
+    FUZZ_ASSERT(threw);
+  }
+  return 0;
+}

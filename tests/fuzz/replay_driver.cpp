@@ -1,0 +1,70 @@
+// Corpus-replay main() for the fuzz harnesses (non-libFuzzer builds).
+//
+// The GCC dev container cannot link libFuzzer, but every checked-in corpus
+// input is still a regression test: this driver feeds each file (or every
+// regular file in each directory, recursively) to LLVMFuzzerTestOneInput
+// exactly once. Exit 0 only if at least one input was replayed and none
+// crashed — an empty or missing corpus is an error so a renamed harness
+// cannot silently replay nothing (tools/defrag_lint.py's stale-corpus
+// check guards the inverse direction).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool replay_file(const fs::path& path, std::size_t* replayed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz-replay: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  ++*replayed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-file-or-dir>...\n"
+                 "replays each input through LLVMFuzzerTestOneInput\n",
+                 argv[0]);
+    return 2;
+  }
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (!replay_file(entry.path(), &replayed)) return 1;
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      if (!replay_file(arg, &replayed)) return 1;
+    } else {
+      std::fprintf(stderr, "fuzz-replay: no such file or directory: %s\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "fuzz-replay: corpus is empty — nothing tested\n");
+    return 1;
+  }
+  std::fprintf(stderr, "fuzz-replay: %zu input(s) replayed cleanly\n",
+               replayed);
+  return 0;
+}

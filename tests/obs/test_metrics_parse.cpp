@@ -1,0 +1,143 @@
+// Unit tests for defrag.metrics.v1 ingestion (obs/metrics_parse.h).
+// The fuzz harness (tests/fuzz/fuzz_metrics_json.cpp) covers arbitrary
+// bytes; here we pin the deterministic contract: everything
+// write_metrics_json() emits parses back with the same values, and each
+// schema rule rejects by name.
+#include "obs/metrics_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace defrag::obs {
+namespace {
+
+std::string exported(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  write_metrics_json(reg.snapshot(), os);
+  return os.str();
+}
+
+TEST(MetricsParseTest, EmptyRegistryRoundTrips) {
+  MetricsRegistry reg;
+  const ParsedMetricsDocument doc = parse_metrics_v1(exported(reg));
+  EXPECT_TRUE(doc.metrics.empty());
+}
+
+TEST(MetricsParseTest, WriterOutputParsesBackWithSameValues) {
+  MetricsRegistry reg;
+  reg.counter("ingest.chunks").add(12345);
+  reg.gauge("cache.hit_rate").set(0.875);
+  auto& h = reg.histogram("chunk.size");
+  for (std::uint64_t v : {0ull, 1ull, 100ull, 5000ull, 70000ull}) {
+    h.observe(static_cast<double>(v));
+  }
+
+  const ParsedMetricsDocument doc = parse_metrics_v1(exported(reg));
+  ASSERT_EQ(doc.metrics.size(), 3u);
+
+  const ParsedMetric* counter = doc.find("ingest.chunks");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->kind, MetricKind::kCounter);
+  EXPECT_EQ(counter->counter, 12345u);
+
+  const ParsedMetric* gauge = doc.find("cache.hit_rate");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(gauge->gauge, 0.875);
+
+  const ParsedMetric* hist = doc.find("chunk.size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist->hist.count, 5u);
+  EXPECT_EQ(hist->hist.zeros, 1u);
+  EXPECT_DOUBLE_EQ(hist->hist.min, 0.0);
+  EXPECT_DOUBLE_EQ(hist->hist.max, 70000.0);
+  // Reconstructed bucket state mirrors the live histogram.
+  EXPECT_EQ(hist->hist.buckets.count(), 5u);
+  EXPECT_EQ(hist->hist.buckets.zeros(), 1u);
+}
+
+TEST(MetricsParseTest, FindMissesReturnNull) {
+  MetricsRegistry reg;
+  reg.counter("a").add(1);
+  const ParsedMetricsDocument doc = parse_metrics_v1(exported(reg));
+  EXPECT_EQ(doc.find("b"), nullptr);
+}
+
+TEST(MetricsParseTest, WrongSchemaMarkerRejected) {
+  EXPECT_THROW(
+      parse_metrics_v1("{\"schema\": \"defrag.metrics.v2\", \"metrics\": {}}"),
+      MetricsParseError);
+}
+
+TEST(MetricsParseTest, TrailingBytesRejected) {
+  EXPECT_THROW(parse_metrics_v1(
+                   "{\"schema\": \"defrag.metrics.v1\", \"metrics\": {}} x"),
+               MetricsParseError);
+}
+
+TEST(MetricsParseTest, UnknownMetricKindRejected) {
+  EXPECT_THROW(
+      parse_metrics_v1("{\"schema\": \"defrag.metrics.v1\", \"metrics\": "
+                       "{\"m\": {\"type\": \"summary\", \"value\": 1}}}"),
+      MetricsParseError);
+}
+
+TEST(MetricsParseTest, IllegalMetricNameRejected) {
+  EXPECT_THROW(
+      parse_metrics_v1("{\"schema\": \"defrag.metrics.v1\", \"metrics\": "
+                       "{\"bad name\": {\"type\": \"counter\", "
+                       "\"value\": 1}}}"),
+      MetricsParseError);
+}
+
+TEST(MetricsParseTest, HistogramBucketAccountingMismatchRejected) {
+  // zeros + bucket counts != count: the cross-field rule that keeps
+  // Log2Histogram reconstruction honest.
+  const std::string doc =
+      "{\"schema\": \"defrag.metrics.v1\", \"metrics\": {\"h\": {"
+      "\"type\": \"histogram\", \"count\": 10, \"sum\": 1, \"mean\": 1, "
+      "\"stddev\": 0, \"min\": 1, \"max\": 1, \"p50\": 1, \"p90\": 1, "
+      "\"p99\": 1, \"zeros\": 0, \"buckets\": [[0, 3]]}}}";
+  EXPECT_THROW(parse_metrics_v1(doc), MetricsParseError);
+}
+
+TEST(MetricsParseTest, HistogramBucketIndexOutOfRangeRejected) {
+  const std::string doc =
+      "{\"schema\": \"defrag.metrics.v1\", \"metrics\": {\"h\": {"
+      "\"type\": \"histogram\", \"count\": 1, \"sum\": 1, \"mean\": 1, "
+      "\"stddev\": 0, \"min\": 1, \"max\": 1, \"p50\": 1, \"p90\": 1, "
+      "\"p99\": 1, \"zeros\": 0, \"buckets\": [[40, 1]]}}}";
+  EXPECT_THROW(parse_metrics_v1(doc), MetricsParseError);
+}
+
+TEST(MetricsParseTest, DuplicateMetricNamesRejected) {
+  EXPECT_THROW(
+      parse_metrics_v1("{\"schema\": \"defrag.metrics.v1\", \"metrics\": "
+                       "{\"m\": {\"type\": \"counter\", \"value\": 1}, "
+                       "\"m\": {\"type\": \"counter\", \"value\": 2}}}"),
+      MetricsParseError);
+}
+
+TEST(MetricsParseTest, MissingFieldRejected) {
+  EXPECT_THROW(
+      parse_metrics_v1("{\"schema\": \"defrag.metrics.v1\", \"metrics\": "
+                       "{\"m\": {\"type\": \"counter\"}}}"),
+      MetricsParseError);
+}
+
+TEST(MetricsParseTest, OverlongStringRejected) {
+  std::string doc = "{\"schema\": \"";
+  doc.append(kMaxMetricsString + 1, 'a');
+  doc += "\", \"metrics\": {}}";
+  EXPECT_THROW(parse_metrics_v1(doc), MetricsParseError);
+}
+
+}  // namespace
+}  // namespace defrag::obs

@@ -1,0 +1,174 @@
+// Unit tests for the durable recipe/catalog encoding (service/persist.h).
+// The fuzz harness (tests/fuzz/fuzz_persist.cpp) covers arbitrary bytes;
+// these tests pin the deterministic facts: exact round-trips, the layout
+// constants, and one named rejection per validation rule.
+#include "service/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+#include "service/wire.h"
+#include "storage/catalog.h"
+#include "storage/recipe.h"
+
+namespace defrag::service {
+namespace {
+
+Fingerprint fp_of_byte(std::uint8_t b) {
+  Fingerprint fp;
+  fp.bytes.fill(b);
+  return fp;
+}
+
+Recipe sample_recipe() {
+  Recipe recipe("gen-7");
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ChunkLocation loc;
+    loc.container = i;
+    loc.offset = i * 1000;
+    loc.size = 512 + i;
+    recipe.add(fp_of_byte(static_cast<std::uint8_t>(i)), loc);
+  }
+  return recipe;
+}
+
+GenerationCatalog sample_catalog() {
+  GenerationCatalog catalog;
+  catalog.add("/data/a", 0, 100);
+  catalog.add("/data/b", 100, 50);
+  catalog.add("/data/hole", 400, 0);
+  return catalog;
+}
+
+TEST(PersistRecipeTest, RoundTripPreservesEverything) {
+  const Recipe original = sample_recipe();
+  const Recipe decoded = decode_recipe(ByteView(encode_recipe(original)));
+  EXPECT_EQ(decoded.label(), "gen-7");
+  EXPECT_EQ(decoded.logical_bytes(), original.logical_bytes());
+  ASSERT_EQ(decoded.entries().size(), original.entries().size());
+  for (std::size_t i = 0; i < original.entries().size(); ++i) {
+    EXPECT_EQ(decoded.entries()[i].fp, original.entries()[i].fp);
+    EXPECT_EQ(decoded.entries()[i].location, original.entries()[i].location);
+  }
+}
+
+TEST(PersistRecipeTest, EncodingIsByteCanonical) {
+  const Bytes image = encode_recipe(sample_recipe());
+  EXPECT_EQ(encode_recipe(decode_recipe(ByteView(image))), image);
+}
+
+TEST(PersistRecipeTest, EmptyRecipeRoundTrips) {
+  const Recipe decoded = decode_recipe(ByteView(encode_recipe(Recipe("e"))));
+  EXPECT_EQ(decoded.label(), "e");
+  EXPECT_TRUE(decoded.entries().empty());
+}
+
+TEST(PersistRecipeTest, BadMagicRejected) {
+  Bytes image = encode_recipe(sample_recipe());
+  image[0] ^= 0xff;
+  EXPECT_THROW(decode_recipe(ByteView(image)), WireError);
+}
+
+TEST(PersistRecipeTest, UnknownVersionRejected) {
+  Bytes image = encode_recipe(sample_recipe());
+  image[4] = kPersistVersion + 1;
+  EXPECT_THROW(decode_recipe(ByteView(image)), WireError);
+}
+
+TEST(PersistRecipeTest, HostileCountRejectedBeforeAllocation) {
+  // Valid header, then a count claiming ~4 billion entries with an empty
+  // body: must throw on the count-vs-remaining check, not reserve memory.
+  Bytes image;
+  WireWriter w(image);
+  w.u32(kRecipeMagic);
+  w.u8(kPersistVersion);
+  w.str("x");
+  w.u32(0xffffffffu);
+  EXPECT_THROW(decode_recipe(ByteView(image)), WireError);
+}
+
+TEST(PersistRecipeTest, TruncatedEntryRejected) {
+  Bytes image = encode_recipe(sample_recipe());
+  image.resize(image.size() - 1);
+  EXPECT_THROW(decode_recipe(ByteView(image)), WireError);
+}
+
+TEST(PersistRecipeTest, TrailingBytesRejected) {
+  Bytes image = encode_recipe(sample_recipe());
+  image.push_back(0);
+  EXPECT_THROW(decode_recipe(ByteView(image)), WireError);
+}
+
+TEST(PersistCatalogTest, RoundTripPreservesEverything) {
+  const GenerationCatalog original = sample_catalog();
+  const GenerationCatalog decoded =
+      decode_catalog(ByteView(encode_catalog(original)));
+  ASSERT_EQ(decoded.entries().size(), original.entries().size());
+  for (std::size_t i = 0; i < original.entries().size(); ++i) {
+    EXPECT_EQ(decoded.entries()[i].path, original.entries()[i].path);
+    EXPECT_EQ(decoded.entries()[i].stream_offset,
+              original.entries()[i].stream_offset);
+    EXPECT_EQ(decoded.entries()[i].size, original.entries()[i].size);
+  }
+}
+
+TEST(PersistCatalogTest, EncodingIsByteCanonical) {
+  const Bytes image = encode_catalog(sample_catalog());
+  EXPECT_EQ(encode_catalog(decode_catalog(ByteView(image))), image);
+}
+
+TEST(PersistCatalogTest, OutOfOrderEntriesAreWireErrorNotCheckFailure) {
+  // Offsets going backwards violate GenerationCatalog::add's precondition
+  // (a DEFRAG_CHECK). The decoder must catch it first as a *peer* error.
+  Bytes image;
+  WireWriter w(image);
+  w.u32(kCatalogMagic);
+  w.u8(kPersistVersion);
+  w.u32(2);
+  w.str("/a");
+  w.u64(1000);
+  w.u64(10);
+  w.str("/b");
+  w.u64(500);  // before /a's extent — invalid
+  w.u64(10);
+  EXPECT_THROW(decode_catalog(ByteView(image)), WireError);
+}
+
+TEST(PersistCatalogTest, OffsetPlusSizeOverflowRejected) {
+  Bytes image;
+  WireWriter w(image);
+  w.u32(kCatalogMagic);
+  w.u8(kPersistVersion);
+  w.u32(1);
+  w.str("/a");
+  w.u64(0xffffffffffffffffull);
+  w.u64(2);  // offset + size wraps past 2^64
+  EXPECT_THROW(decode_catalog(ByteView(image)), WireError);
+}
+
+TEST(PersistCatalogTest, HostileCountRejectedBeforeAllocation) {
+  Bytes image;
+  WireWriter w(image);
+  w.u32(kCatalogMagic);
+  w.u8(kPersistVersion);
+  w.u32(0xfffffff0u);
+  EXPECT_THROW(decode_catalog(ByteView(image)), WireError);
+}
+
+TEST(PersistTest, MagicsMatchTheirAscii) {
+  // "DFR1" / "DFC1" little-endian — pinned so the on-disk format can be
+  // identified with `xxd`.
+  Bytes r, c;
+  WireWriter wr(r), wc(c);
+  wr.u32(kRecipeMagic);
+  wc.u32(kCatalogMagic);
+  EXPECT_EQ(std::string(r.begin(), r.end()), "DFR1");
+  EXPECT_EQ(std::string(c.begin(), c.end()), "DFC1");
+}
+
+}  // namespace
+}  // namespace defrag::service

@@ -95,6 +95,39 @@ TEST(WireTest, OversizeStringWriteThrows) {
   EXPECT_THROW(w.str(big), WireError);
 }
 
+TEST(WireTest, MaxSizeStringIsAcceptedAtTheBoundary) {
+  // Exactly kMaxWireString must stay legal so the cap can't drift
+  // off-by-one in either direction.
+  Bytes buf;
+  WireWriter w(buf);
+  const std::string big(kMaxWireString, 'b');
+  ASSERT_NO_THROW(w.str(big));
+  WireReader r{ByteView(buf)};
+  EXPECT_EQ(r.str().size(), kMaxWireString);
+  EXPECT_NO_THROW(r.done());
+}
+
+TEST(WireTest, FixedBytesReadsExactlyN) {
+  Bytes buf = {0xaa, 0xbb, 0xcc, 0xdd};
+  WireReader r{ByteView(buf)};
+  const ByteView fixed = r.bytes(3);
+  ASSERT_EQ(fixed.size(), 3u);
+  EXPECT_EQ(fixed[0], 0xaa);
+  EXPECT_EQ(fixed[2], 0xcc);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.u8(), 0xdd);
+  EXPECT_NO_THROW(r.done());
+}
+
+TEST(WireTest, FixedBytesUnderrunThrows) {
+  Bytes buf = {1, 2};
+  WireReader r{ByteView(buf)};
+  EXPECT_THROW(r.bytes(3), WireError);
+  // A failed read consumes nothing.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.bytes(2).size(), 2u);
+}
+
 TEST(WireTest, TrailingBytesRejected) {
   Bytes buf;
   WireWriter w(buf);

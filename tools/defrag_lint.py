@@ -26,6 +26,27 @@ Enforces conventions clang-tidy cannot express:
   cmake-naming    library targets in src/ are named defrag_<dir>, and
                   ctest names registered via add_test() are [a-z0-9_]+
 
+  parse-safety    wire-facing parse code (src/service/, src/obs/): an
+                  integer read from untrusted bytes (WireReader u8/u32/u64,
+                  or assembled with |= from a header buffer) must pass a
+                  cap check (a line naming the variable together with a
+                  kMax* constant, remaining(), or a throw) BEFORE it sizes
+                  a resize/reserve/new[]/container constructor or bounds a
+                  loop. Catches the classic attacker-controlled-allocation
+                  bug at review time; the fuzz harnesses under tests/fuzz/
+                  catch what this heuristic misses at run time
+  wire-enum-switch  a switch over a wire-decoded enum (FrameType) must have
+                  a `default:` that throws — unknown enum values arrive
+                  from the network and must be rejected, never silently
+                  accepted or fallen through (pure formatters carry a
+                  justified waiver)
+  stale-corpus    tests/fuzz/ bookkeeping: every corpus/<name>/ dir matches
+                  a harness registered in tests/fuzz/CMakeLists.txt, and
+                  every registered harness has a source file, a non-empty
+                  seed corpus and a dict/<name>.dict — a renamed harness
+                  cannot leave its corpus orphaned (the replay driver fails
+                  on empty corpora, guarding the inverse direction)
+
   stale-waiver    every `defrag-lint: allow=` comment must still suppress
                   a live finding; waivers that no longer fire are dead
                   weight and must be deleted (prevents silent rot)
@@ -33,6 +54,10 @@ Enforces conventions clang-tidy cannot express:
 Waivers: a finding on line N is suppressed when line N or N-1 contains
 `defrag-lint: allow=<check-name>` with a justification in the comment.
 Stale-waiver findings themselves cannot be waived.
+
+`--self-test` builds throwaway fixture trees (a seeded unguarded resize, a
+silently-accepting switch, an orphaned corpus dir) and asserts the checks
+above catch them — proving the lint still lints before CI trusts it.
 
 Exit codes: 0 clean, 1 findings, 2 usage/internal error.
 
@@ -75,9 +100,9 @@ IWYU_SPOT = {
 }
 
 
-def cpp_files():
+def cpp_files(repo=REPO):
     for d in CPP_DIRS:
-        root = REPO / d
+        root = repo / d
         if root.is_dir():
             yield from (p for p in sorted(root.rglob("*"))
                         if p.suffix in SRC_EXTS)
@@ -124,13 +149,15 @@ def strip_comments_and_strings(text):
 
 CHECK_NAMES = ("metric-docs", "header-pragma", "header-iwyu", "raw-new",
                "rand", "cout", "printf", "catch-all", "cmake-naming",
+               "parse-safety", "wire-enum-switch", "stale-corpus",
                "stale-waiver")
 
 WAIVER_RE = re.compile(r"defrag-lint:\s*allow=([a-z-]+)")
 
 
 class Linter:
-    def __init__(self):
+    def __init__(self, repo=REPO):
+        self.repo = repo
         self.findings = []
         # (resolved path, 1-based line) of waiver comments that suppressed
         # at least one finding this run; everything else is stale.
@@ -145,13 +172,13 @@ class Linter:
                 if f"defrag-lint: allow={check}" in ln:
                     self.used_waivers.add((str(path), base + off + 1))
                     return
-        rel = path.relative_to(REPO) if isinstance(path, Path) else path
+        rel = path.relative_to(self.repo) if isinstance(path, Path) else path
         self.findings.append(f"{rel}:{lineno}: [{check}] {message}")
 
     # ---- metric-name <-> docs cross-check --------------------------------
 
     def check_metric_docs(self):
-        doc_path = REPO / "docs" / "OBSERVABILITY.md"
+        doc_path = self.repo / "docs" / "OBSERVABILITY.md"
         if not doc_path.is_file():
             self.report("metric-docs", doc_path, 0,
                         "docs/OBSERVABILITY.md is missing")
@@ -181,8 +208,8 @@ class Linter:
             r"\b(?:counter|gauge|histogram)\s*\(\s*[A-Za-z_][\w().:]*\s*\+\s*"
             r"\"([a-z0-9_.-]+)\"")
         code_full, code_suffix = {}, {}
-        for path in cpp_files():
-            if REPO / "src" not in path.parents:
+        for path in cpp_files(self.repo):
+            if self.repo / "src" not in path.parents:
                 continue  # tests/bench register scratch names freely
             text = path.read_text(encoding="utf-8")
             for m in call_re.finditer(text):
@@ -222,8 +249,8 @@ class Linter:
     # ---- header checks ----------------------------------------------------
 
     def check_headers(self):
-        for path in cpp_files():
-            if path.suffix != ".h" or REPO / "src" not in path.parents:
+        for path in cpp_files(self.repo):
+            if path.suffix != ".h" or self.repo / "src" not in path.parents:
                 continue
             text = path.read_text(encoding="utf-8")
             lines = text.splitlines()
@@ -253,11 +280,11 @@ class Linter:
         # \b keeps snprintf/vsnprintf (string formatting, no I/O) legal.
         printf_re = re.compile(r"\b(?:std::)?(?:v?f?printf|puts|fputs)\s*\(")
         catch_all_re = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
-        for path in cpp_files():
+        for path in cpp_files(self.repo):
             text = path.read_text(encoding="utf-8")
             stripped = strip_comments_and_strings(text)
             lines = text.splitlines()
-            in_src = REPO / "src" in path.parents
+            in_src = self.repo / "src" in path.parents
             for i, ln in enumerate(stripped.splitlines(), start=1):
                 if rand_re.search(ln):
                     self.report("rand", path, i,
@@ -296,12 +323,12 @@ class Linter:
     def check_cmake(self):
         lib_re = re.compile(r"add_library\s*\(\s*([A-Za-z0-9_-]+)")
         test_re = re.compile(r"add_test\s*\(\s*NAME\s+([^\s)]+)")
-        for path in sorted(REPO.rglob("CMakeLists.txt")):
-            if "build" in path.parts or REPO / "related" in path.parents:
+        for path in sorted(self.repo.rglob("CMakeLists.txt")):
+            if "build" in path.parts or self.repo / "related" in path.parents:
                 continue
             text = path.read_text(encoding="utf-8")
             lines = text.splitlines()
-            in_src = REPO / "src" in path.parents
+            in_src = self.repo / "src" in path.parents
             for i, ln in enumerate(lines, start=1):
                 m = lib_re.search(ln)
                 if m and in_src:
@@ -317,6 +344,182 @@ class Linter:
                                 f"test name '{m.group(1)}' must be "
                                 "[a-z0-9_]+", lines)
 
+    # ---- parse safety on the wire path ------------------------------------
+
+    # A declaration initialized from a WireReader-style read...
+    TAINT_DECL_RE = re.compile(
+        r"\b(?:const\s+)?(?:auto|std::uint(?:8|16|32|64)_t|std::size_t)\s+"
+        r"(\w+)\s*=\s*[\w.\->]*\bu(?:8|16|32|64)\s*\(\s*\)")
+    # ...or assembled byte-by-byte from a raw header buffer.
+    TAINT_ASSEMBLE_RE = re.compile(r"\b(\w+)\s*\|=")
+
+    # Allocation/loop sites sized by a tainted variable `{v}`.
+    PARSE_SINK_TEMPLATES = (
+        (r"\.\s*resize\s*\(\s*{v}\b", "resize"),
+        (r"\.\s*reserve\s*\(\s*{v}\b", "reserve"),
+        (r"\bnew\b[^;(]*\[\s*{v}\b", "new[]"),
+        (r"\b(?:Bytes|std::string|std::vector<[^;=]*>)\s+\w+\s*\(\s*{v}\b",
+         "container constructor"),
+        (r"for\s*\([^;]*;\s*\w+\s*<\s*{v}\b", "loop bound"),
+    )
+
+    def check_parse_safety(self):
+        """Wire-read integers must be cap-checked before sizing anything.
+
+        Heuristic dataflow, per function (delimited by a column-0 `}`): a
+        variable is tainted if initialized from a u8/u32/u64 read or |=
+        assembly; a sink (resize/reserve/new[]/container ctor/loop bound)
+        using it is safe only if a guard line — naming the variable next to
+        a kMax* constant, remaining(), or a throw — appears between taint
+        and sink. False negatives are the fuzzers' job; false positives
+        carry a `defrag-lint: allow=parse-safety` waiver with the reason.
+        """
+        roots = (self.repo / "src" / "service", self.repo / "src" / "obs")
+        for path in cpp_files(self.repo):
+            if not any(root in path.parents for root in roots):
+                continue
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            slines = strip_comments_and_strings(text).splitlines()
+            taints = []  # (lineno 1-based, varname)
+            for i, ln in enumerate(slines, start=1):
+                m = self.TAINT_DECL_RE.search(ln)
+                if m:
+                    taints.append((i, m.group(1)))
+                    continue
+                m = self.TAINT_ASSEMBLE_RE.search(ln)
+                if m:
+                    taints.append((i, m.group(1)))
+            for start, var in taints:
+                # Scope ends at the function's closing brace (column 0).
+                end = next((j for j in range(start, len(slines))
+                            if slines[j].startswith("}")), len(slines))
+                guard_re = re.compile(
+                    rf"\b{re.escape(var)}\b.*(?:kMax|remaining\s*\(|throw)"
+                    rf"|(?:kMax\w*|remaining\s*\(\s*\))\s*[/<>=!].*"
+                    rf"\b{re.escape(var)}\b")
+                guarded_at = None
+                for j in range(start, end):
+                    if guard_re.search(slines[j]):
+                        guarded_at = j + 1
+                        break
+                for j in range(start, end):
+                    ln = slines[j]
+                    for template, what in self.PARSE_SINK_TEMPLATES:
+                        if re.search(template.format(v=re.escape(var)), ln):
+                            if guarded_at is None or guarded_at > j + 1:
+                                self.report(
+                                    "parse-safety", path, j + 1,
+                                    f"{what} sized by '{var}' (read from "
+                                    "untrusted bytes at line "
+                                    f"{start}) with no preceding cap check "
+                                    "— cap against kMax*/remaining() "
+                                    "before allocating", lines)
+
+    # ---- wire-enum switch exhaustiveness -----------------------------------
+
+    # Enums whose values arrive off the wire; switches over them must
+    # actively reject unknown values.
+    WIRE_ENUMS = ("FrameType",)
+
+    def check_wire_enum_switch(self):
+        """A switch over a wire-decoded enum needs a default that throws.
+
+        GCC's -Wswitch only warns when a *named* enumerator is missing; a
+        hostile peer sends values outside the enum entirely, which a
+        case-complete switch without a default silently falls through.
+        """
+        for path in cpp_files(self.repo):
+            if self.repo / "src" / "service" not in path.parents:
+                continue
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            stripped = strip_comments_and_strings(text)
+            slines = stripped.splitlines()
+            for m in re.finditer(r"\bswitch\s*\(([^)]*)\)\s*\{", stripped):
+                cond = m.group(1).strip()
+                lineno = stripped.count("\n", 0, m.start()) + 1
+                is_wire = any(e in cond for e in self.WIRE_ENUMS)
+                if not is_wire:
+                    var = re.search(r"(\w+)\s*$", cond)
+                    if var:
+                        v = re.escape(var.group(1))
+                        back = "\n".join(
+                            slines[max(0, lineno - 41):lineno])
+                        is_wire = bool(
+                            re.search(rf"\bFrameType\s+{v}\b", back)
+                            or re.search(rf"\b{v}\s*=\s*frame_type\s*\(",
+                                         back))
+                if not is_wire:
+                    continue
+                block = self._brace_block(stripped, m.end() - 1)
+                d = re.search(r"\bdefault\s*:", block)
+                if not d:
+                    self.report(
+                        "wire-enum-switch", path, lineno,
+                        "switch over a wire-decoded enum has no default: "
+                        "values outside the enum arrive from the network "
+                        "and must be rejected (throw WireError)", lines)
+                elif "throw" not in block[d.end():d.end() + 200]:
+                    self.report(
+                        "wire-enum-switch", path, lineno,
+                        "default in a wire-enum switch must reject unknown "
+                        "values (throw WireError), not accept silently",
+                        lines)
+
+    @staticmethod
+    def _brace_block(text, open_pos):
+        """Text of the balanced {...} starting at text[open_pos] == '{'."""
+        depth = 0
+        for i in range(open_pos, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return text[open_pos:i + 1]
+        return text[open_pos:]
+
+    # ---- fuzz corpus bookkeeping -------------------------------------------
+
+    def check_stale_corpus(self):
+        """corpus/ dirs, harness registrations, sources and dicts agree."""
+        fuzz = self.repo / "tests" / "fuzz"
+        cml = fuzz / "CMakeLists.txt"
+        if not cml.is_file():
+            return  # repo (or fixture) has no fuzz suite
+        text = cml.read_text(encoding="utf-8")
+        m = re.search(r"set\s*\(\s*DEFRAG_FUZZ_HARNESSES\s+([^)]*)\)", text)
+        if not m:
+            self.report("stale-corpus", cml, 1,
+                        "tests/fuzz/CMakeLists.txt does not define "
+                        "DEFRAG_FUZZ_HARNESSES")
+            return
+        registered = m.group(1).split()
+        corpus_root = fuzz / "corpus"
+        for d in sorted(corpus_root.iterdir()) if corpus_root.is_dir() \
+                else []:
+            if d.is_dir() and d.name not in registered:
+                self.report("stale-corpus", d, 0,
+                            f"corpus dir '{d.name}' matches no harness in "
+                            "DEFRAG_FUZZ_HARNESSES — renamed harness? "
+                            "delete or rename the corpus")
+        for h in registered:
+            if not (fuzz / f"{h}.cpp").is_file():
+                self.report("stale-corpus", cml, 1,
+                            f"harness '{h}' is registered but tests/fuzz/"
+                            f"{h}.cpp does not exist")
+            cdir = corpus_root / h
+            if not cdir.is_dir() or not any(p.is_file()
+                                            for p in cdir.iterdir()):
+                self.report("stale-corpus", cml, 1,
+                            f"harness '{h}' has no seed corpus under "
+                            f"tests/fuzz/corpus/{h}/ (the replay test "
+                            "would fail on an empty corpus)")
+            if not (fuzz / "dict" / f"{h}.dict").is_file():
+                self.report("stale-corpus", cml, 1,
+                            f"harness '{h}' lacks tests/fuzz/dict/{h}.dict")
+
     # ---- waiver hygiene ---------------------------------------------------
 
     def check_stale_waivers(self):
@@ -326,10 +529,10 @@ class Linter:
         waivers are reported unwaivably: the fix is deleting the comment.
         """
         known = set(CHECK_NAMES) - {"stale-waiver"}
-        scan = list(cpp_files())
-        scan += [p for p in sorted(REPO.rglob("CMakeLists.txt"))
+        scan = list(cpp_files(self.repo))
+        scan += [p for p in sorted(self.repo.rglob("CMakeLists.txt"))
                  if "build" not in p.parts
-                 and REPO / "related" not in p.parents]
+                 and self.repo / "related" not in p.parents]
         for path in scan:
             text = path.read_text(encoding="utf-8")
             for i, ln in enumerate(text.splitlines(), start=1):
@@ -339,11 +542,11 @@ class Linter:
                 check = m.group(1)
                 if check not in known:
                     self.findings.append(
-                        f"{path.relative_to(REPO)}:{i}: [stale-waiver] "
+                        f"{path.relative_to(self.repo)}:{i}: [stale-waiver] "
                         f"waiver names unknown check '{check}'")
                 elif (str(path), i) not in self.used_waivers:
                     self.findings.append(
-                        f"{path.relative_to(REPO)}:{i}: [stale-waiver] "
+                        f"{path.relative_to(self.repo)}:{i}: [stale-waiver] "
                         f"waiver for '{check}' no longer suppresses any "
                         "finding; delete it")
 
@@ -352,8 +555,128 @@ class Linter:
         self.check_headers()
         self.check_banned()
         self.check_cmake()
+        self.check_parse_safety()
+        self.check_wire_enum_switch()
+        self.check_stale_corpus()
         self.check_stale_waivers()
         return self.findings
+
+
+def self_test():
+    """Prove the hostile-input checks catch seeded bugs in fixture trees.
+
+    Exercised by the `repo_lint_selftest` ctest entry: a lint that silently
+    stopped matching is worse than no lint, so the fixtures below must keep
+    producing (and suppressing) exactly the expected findings.
+    """
+    import tempfile
+    import textwrap
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory() as td:
+        repo = Path(td)
+        svc = repo / "src" / "service"
+        svc.mkdir(parents=True)
+        (svc / "bad.cpp").write_text(textwrap.dedent("""\
+            #include "service/wire.h"
+            void bad_resize(WireReader& r, std::vector<int>& out) {
+              const std::uint32_t count = r.u32();
+              out.resize(count);
+            }
+            void bad_switch(FrameType type) {
+              switch (type) {
+                case FrameType::kHello:
+                  break;
+              }
+            }
+            void bad_accepting_default(FrameType type) {
+              switch (type) {
+                case FrameType::kHello:
+                  break;
+                default:
+                  break;
+              }
+            }
+            """), encoding="utf-8")
+        (svc / "good.cpp").write_text(textwrap.dedent("""\
+            #include "service/wire.h"
+            void good_resize(WireReader& r, std::vector<int>& out) {
+              const std::uint32_t count = r.u32();
+              if (count > r.remaining() / 4) throw WireError("count");
+              out.resize(count);
+            }
+            void good_switch(FrameType type) {
+              switch (type) {
+                case FrameType::kHello:
+                  break;
+                default:
+                  throw WireError("unknown frame type");
+              }
+            }
+            std::string formatter(FrameType t) {
+              // defrag-lint: allow=wire-enum-switch — formatter only;
+              switch (t) {
+                case FrameType::kHello:
+                  return "HELLO";
+              }
+              return "UNKNOWN";
+            }
+            """), encoding="utf-8")
+        linter = Linter(repo)
+        linter.check_parse_safety()
+        linter.check_wire_enum_switch()
+        text = "\n".join(linter.findings)
+        expect("bad.cpp:4: [parse-safety]" in text,
+               "seeded unguarded resize was not caught")
+        expect("bad.cpp:7: [wire-enum-switch]" in text,
+               "seeded defaultless FrameType switch was not caught")
+        expect("bad.cpp:13: [wire-enum-switch]" in text,
+               "seeded silently-accepting default was not caught")
+        expect("good.cpp" not in text,
+               f"guarded fixtures produced findings: {text}")
+        expect(len(linter.findings) == 3,
+               f"expected exactly 3 findings, got: {text}")
+        expect(len(linter.used_waivers) == 1,
+               "formatter waiver was not consumed")
+
+    with tempfile.TemporaryDirectory() as td:
+        repo = Path(td)
+        fuzz = repo / "tests" / "fuzz"
+        (fuzz / "corpus" / "fuzz_a").mkdir(parents=True)
+        (fuzz / "corpus" / "fuzz_a" / "seed.bin").write_bytes(b"x")
+        (fuzz / "corpus" / "fuzz_orphan").mkdir()
+        (fuzz / "corpus" / "fuzz_orphan" / "seed.bin").write_bytes(b"x")
+        (fuzz / "corpus" / "fuzz_empty").mkdir()
+        (fuzz / "dict").mkdir()
+        (fuzz / "dict" / "fuzz_a.dict").write_text('k="v"\n', encoding="utf-8")
+        (fuzz / "dict" / "fuzz_empty.dict").write_text('k="v"\n',
+                                                       encoding="utf-8")
+        (fuzz / "fuzz_a.cpp").write_text("// harness\n", encoding="utf-8")
+        (fuzz / "fuzz_empty.cpp").write_text("// harness\n", encoding="utf-8")
+        (fuzz / "CMakeLists.txt").write_text(
+            "set(DEFRAG_FUZZ_HARNESSES\n  fuzz_a\n  fuzz_empty\n"
+            "  fuzz_missing)\n", encoding="utf-8")
+        linter = Linter(repo)
+        linter.check_stale_corpus()
+        text = "\n".join(linter.findings)
+        expect("'fuzz_orphan' matches no harness" in text,
+               "orphaned corpus dir was not caught")
+        expect("'fuzz_empty' has no seed corpus" in text,
+               "empty corpus was not caught")
+        expect("'fuzz_missing' is registered but" in text,
+               "registered harness without a source was not caught")
+        expect("fuzz_a" not in text,
+               f"consistent harness was reported: {text}")
+
+    for f in failures:
+        print(f"defrag_lint --self-test: FAIL: {f}")
+    if not failures:
+        print("defrag_lint --self-test: ok")
+    return 1 if failures else 0
 
 
 def main():
@@ -362,10 +685,14 @@ def main():
         epilog="exit codes: 0 clean, 1 findings, 2 usage/internal error")
     ap.add_argument("--list-checks", action="store_true",
                     help="print check names and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the lint's own fixture tests and exit")
     args = ap.parse_args()
     if args.list_checks:
         print(" ".join(CHECK_NAMES))
         return 0
+    if args.self_test:
+        return self_test()
     findings = Linter().run()
     for f in findings:
         print(f)
