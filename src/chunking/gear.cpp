@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "chunking/chunker.h"
+#include "chunking/gear_simd.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -50,6 +51,13 @@ void GearChunker::split_to(ByteView data, const ChunkSink& sink) const {
   const auto& gear = table();
   if (data.empty()) return;
 
+  // Resolve the dispatched scan kernel once per split. Every kernel is
+  // bit-identical to simd::gear_scan_scalar (the loop this function used to
+  // inline), so boundary placement is independent of the ISA level.
+  const simd::GearScanFn scan = simd::active_gear_scan();
+  const bool wide = scan != &simd::gear_scan_scalar;
+  std::uint64_t wide_bytes = 0;
+
   const std::size_t n = data.size();
   std::size_t chunk_start = 0;
 
@@ -64,41 +72,34 @@ void GearChunker::split_to(ByteView data, const ChunkSink& sink) const {
     std::uint64_t h = 0;
 
     // Bytes before min_end can never be a boundary but must feed the hash so
-    // the boundary decision depends on a full window of context.
+    // the boundary decision depends on a full window of context. Gear's
+    // window is implicit in the 64-bit shift register, so skip ahead: only
+    // the last 64 bytes before min_end can influence any boundary test.
     std::size_t pos = (min_end > chunk_start + 64) ? min_end - 64 : chunk_start;
     for (; pos < min_end; ++pos) h = (h << 1) + gear[data[pos]];
 
+    const std::size_t scan_start = pos;
     if (normalized_) {
-      for (; pos < avg_end; ++pos) {
-        h = (h << 1) + gear[data[pos]];
-        if ((h & mask_strict_) == 0) {
-          boundary = pos + 1;
-          break;
-        }
-      }
-      if (boundary == hard_end) {
-        for (; pos < hard_end; ++pos) {
-          h = (h << 1) + gear[data[pos]];
-          if ((h & mask_loose_) == 0) {
-            boundary = pos + 1;
-            break;
-          }
-        }
+      std::size_t r =
+          scan(data.data(), pos, avg_end, mask_strict_, h, gear.data());
+      if (r != simd::kNoBoundary) {
+        boundary = r;
+      } else {
+        r = scan(data.data(), avg_end, hard_end, mask_loose_, h, gear.data());
+        if (r != simd::kNoBoundary) boundary = r;
       }
     } else {
-      for (; pos < hard_end; ++pos) {
-        h = (h << 1) + gear[data[pos]];
-        if ((h & mask_avg_) == 0) {
-          boundary = pos + 1;
-          break;
-        }
-      }
+      const std::size_t r =
+          scan(data.data(), pos, hard_end, mask_avg_, h, gear.data());
+      if (r != simd::kNoBoundary) boundary = r;
     }
+    if (wide) wide_bytes += boundary - scan_start;
 
     sink(ChunkRef{chunk_start,
                   static_cast<std::uint32_t>(boundary - chunk_start)});
     chunk_start = boundary;
   }
+  if (wide_bytes > 0) simd::add_simd_bytes(wide_bytes);
 }
 
 }  // namespace defrag

@@ -4,6 +4,7 @@
 #include "chunking/segmenter.h"
 #include "common/check.h"
 #include "common/fingerprint.h"
+#include "common/sha_mb.h"
 #include "common/units.h"
 #include "dedup/pipeline.h"
 #include "obs/metrics.h"
@@ -94,12 +95,25 @@ std::vector<StreamChunk> EngineBase::prepare_chunks(ByteView stream) {
       obs::MetricsRegistry::global().histogram("stage.prepare_us"));
   if (pipeline_) return pipeline_->run(stream);
 
-  std::vector<StreamChunk> chunks;
-  chunks.reserve(stream.size() / cfg_.chunker.avg_size + 1);
-  chunker_->split_to(stream, [&](const ChunkRef& r) {
-    chunks.push_back(StreamChunk{
-        Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset, r.size});
-  });
+  // Collect the chunk boundaries first, then fingerprint them as one batch:
+  // the multi-buffer hashers want many independent messages at once, and the
+  // batch holds output pointers into `chunks`, so the vector must not grow
+  // between add() and flush().
+  std::vector<ChunkRef> refs;
+  refs.reserve(stream.size() / cfg_.chunker.avg_size + 1);
+  chunker_->split_to(stream, [&](const ChunkRef& r) { refs.push_back(r); });
+
+  std::vector<StreamChunk> chunks(refs.size());
+  simd::FingerprintBatch batch;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    chunks[i] = StreamChunk{Fingerprint{}, refs[i].offset, refs[i].size};
+    batch.add(stream.subspan(refs[i].offset, refs[i].size), &chunks[i].fp);
+  }
+  batch.flush();
+  obs::MetricsRegistry shard;
+  auto& hist = shard.histogram("fingerprint.batch_size");
+  for (const std::uint32_t s : batch.flush_sizes()) hist.observe(s);
+  obs::MetricsRegistry::global().merge_from(shard);
   return chunks;
 }
 

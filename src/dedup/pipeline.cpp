@@ -11,6 +11,7 @@
 #include "chunking/segmenter.h"
 #include "common/check.h"
 #include "common/fingerprint.h"
+#include "common/sha_mb.h"
 #include "common/spsc_queue.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,6 +41,7 @@ using BatchPtr = std::unique_ptr<Batch>;
 struct WorkerOutput {
   double busy_seconds = 0.0;
   std::vector<BatchPtr> done;
+  std::vector<std::uint32_t> flush_sizes;
 };
 
 /// Pop the next batch, spinning briefly then parking: the producer may be
@@ -64,10 +66,20 @@ WorkerOutput fingerprint_worker(SpscQueue<BatchPtr>& queue, ByteView stream) {
     if (!batch) return out;  // producer's close sentinel
     const auto t0 = Clock::now();
     batch->results.resize(batch->refs.size());
-    for (std::size_t i = 0; i < batch->refs.size(); ++i) {
-      const ChunkRef& r = batch->refs[i];
-      batch->results[i] = StreamChunk{
-          Fingerprint::of(stream.subspan(r.offset, r.size)), r.offset, r.size};
+    {
+      // Batched multi-buffer fingerprinting: enqueue every chunk, hash them
+      // lanes-in-parallel on flush. The output pointers stay valid — results
+      // lives in the heap-allocated Batch.
+      simd::FingerprintBatch fp_batch;
+      for (std::size_t i = 0; i < batch->refs.size(); ++i) {
+        const ChunkRef& r = batch->refs[i];
+        batch->results[i] = StreamChunk{Fingerprint{}, r.offset, r.size};
+        fp_batch.add(stream.subspan(r.offset, r.size), &batch->results[i].fp);
+      }
+      fp_batch.flush();
+      out.flush_sizes.insert(out.flush_sizes.end(),
+                             fp_batch.flush_sizes().begin(),
+                             fp_batch.flush_sizes().end());
     }
     out.busy_seconds += seconds_since(t0);
     out.done.push_back(std::move(batch));
@@ -149,9 +161,12 @@ std::vector<StreamChunk> StreamPipeline::run(ByteView stream,
   // each batch's dispatch-time position.
   std::vector<StreamChunk> out(chunk_count);
   double fingerprint_busy = 0.0;
+  std::vector<std::uint32_t> flush_sizes;
   for (auto& w : workers) {
     WorkerOutput result = w.get();
     fingerprint_busy += result.busy_seconds;
+    flush_sizes.insert(flush_sizes.end(), result.flush_sizes.begin(),
+                       result.flush_sizes.end());
     for (const BatchPtr& batch : result.done) {
       std::copy(batch->results.begin(), batch->results.end(),
                 out.begin() + static_cast<std::ptrdiff_t>(batch->first_chunk));
@@ -168,6 +183,8 @@ std::vector<StreamChunk> StreamPipeline::run(ByteView stream,
   shard.histogram("pipeline.chunk_us").observe(chunk_busy * 1e6);
   shard.histogram("pipeline.fingerprint_us").observe(fingerprint_busy * 1e6);
   shard.histogram("pipeline.stall_us").observe(stall_seconds * 1e6);
+  auto& batch_hist = shard.histogram("fingerprint.batch_size");
+  for (const std::uint32_t s : flush_sizes) batch_hist.observe(s);
   obs::MetricsRegistry::global().merge_from(shard);
 
   if (stats) {

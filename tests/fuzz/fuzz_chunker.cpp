@@ -12,7 +12,10 @@
 //   - split() is deterministic and identical to incremental split_to();
 //   - StreamPipeline at worker counts {1, 2} reproduces the synchronous
 //     chunk sequence exactly (offsets, sizes, fingerprints) — the
-//     pipelined fast path may not depend on data content to stay correct.
+//     pipelined fast path may not depend on data content to stay correct;
+//   - the SIMD gear-scan dispatch is a pure performance knob: splitting
+//     with the ISA level pinned to scalar and to every wider level this
+//     host supports yields bit-identical boundaries on arbitrary content.
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,6 +23,7 @@
 #include "chunking/chunker.h"
 #include "chunking/segmenter.h"
 #include "common/bytes.h"
+#include "common/cpu.h"
 #include "common/fingerprint.h"
 #include "dedup/pipeline.h"
 #include "fuzz/fuzz_util.h"
@@ -94,6 +98,26 @@ void check_chunker(const Chunker& chunker, const ChunkerParams& params,
   }
 }
 
+/// SIMD-vs-scalar oracle: boundaries must not depend on the dispatched ISA
+/// level. Runs the same split with the level pinned to scalar and to every
+/// level the host supports.
+void check_simd_oracle(const Chunker& chunker, ByteView stream) {
+  defrag::cpu::force_isa_for_testing(defrag::cpu::IsaLevel::kScalar);
+  const std::vector<ChunkRef> ref = chunker.split(stream);
+  for (const defrag::cpu::IsaLevel level :
+       {defrag::cpu::IsaLevel::kSse41, defrag::cpu::IsaLevel::kAvx2,
+        defrag::cpu::IsaLevel::kAvx512}) {
+    if (level > defrag::cpu::detected_isa_level()) break;
+    defrag::cpu::force_isa_for_testing(level);
+    const std::vector<ChunkRef> got = chunker.split(stream);
+    FUZZ_ASSERT(got.size() == ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      FUZZ_ASSERT(got[i] == ref[i]);
+    }
+  }
+  defrag::cpu::clear_isa_override_for_testing();
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -110,6 +134,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   for (const ChunkerKind kind : {ChunkerKind::kRabin, ChunkerKind::kGear}) {
     const std::unique_ptr<Chunker> chunker = make_chunker(kind, params);
     check_chunker(*chunker, params, stream);
+    if (kind == ChunkerKind::kGear) check_simd_oracle(*chunker, stream);
   }
   return 0;
 }

@@ -1,0 +1,89 @@
+// Fuzz harness: multi-buffer SHA vs the scalar hashers.
+//
+// Input layout: [cap u8][(len_hi len_lo) msg_bytes...]* — byte 0 picks the
+// FingerprintBatch capacity, then the rest is parsed as length-prefixed
+// messages (length mod 8 KiB, truncated to what remains; parsing stops when
+// fewer than 2 bytes remain). The fuzzer therefore controls the batch SIZE,
+// the per-message LENGTHS (padding edges, empties, multi-block) and the
+// CONTENT — the three axes the lane scheduler cares about.
+//
+// Oracle: for every ISA level this host supports, sha1_many_at and
+// sha256_many_at must produce exactly Sha1::hash / Sha256::hash per message,
+// and FingerprintBatch must produce exactly Fingerprint::of — digests are a
+// function of the message alone, never of batch composition or lane
+// assignment.
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/cpu.h"
+#include "common/fingerprint.h"
+#include "common/sha_mb.h"
+#include "fuzz/fuzz_util.h"
+
+using defrag::ByteView;
+using defrag::Fingerprint;
+using defrag::Sha1;
+using defrag::Sha256;
+
+namespace {
+
+/// Bound per-message length so a 4 KiB fuzz input can still describe many
+/// messages (the multi-message schedule is what we are fuzzing).
+constexpr std::size_t kMaxMsgLen = 8 << 10;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t capacity = std::size_t{data[0]} + 1;  // 1..256
+  std::size_t pos = 1;
+
+  std::vector<ByteView> views;
+  while (pos + 2 <= size) {
+    const std::size_t want =
+        ((std::size_t{data[pos]} << 8) | std::size_t{data[pos + 1]}) %
+        (kMaxMsgLen + 1);
+    pos += 2;
+    const std::size_t len = std::min(want, size - pos);
+    views.push_back(ByteView(data + pos, len));
+    pos += len;
+  }
+  if (views.empty()) return 0;
+
+  std::vector<Sha1::Digest> ref1(views.size());
+  std::vector<Sha256::Digest> ref256(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ref1[i] = Sha1::hash(views[i]);
+    ref256[i] = Sha256::hash(views[i]);
+  }
+
+  for (const defrag::cpu::IsaLevel level :
+       {defrag::cpu::IsaLevel::kScalar, defrag::cpu::IsaLevel::kSse41,
+        defrag::cpu::IsaLevel::kAvx2, defrag::cpu::IsaLevel::kAvx512}) {
+    if (level > defrag::cpu::detected_isa_level()) break;
+    std::vector<Sha1::Digest> out1(views.size());
+    std::vector<Sha256::Digest> out256(views.size());
+    defrag::simd::sha1_many_at(level, views.data(), views.size(), out1.data());
+    defrag::simd::sha256_many_at(level, views.data(), views.size(),
+                                 out256.data());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      FUZZ_ASSERT(out1[i] == ref1[i]);
+      FUZZ_ASSERT(out256[i] == ref256[i]);
+    }
+  }
+
+  // The production front-end, at a fuzzer-chosen capacity (auto-flush path).
+  std::vector<Fingerprint> fps(views.size());
+  {
+    defrag::simd::FingerprintBatch batch(capacity);
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      batch.add(views[i], &fps[i]);
+    }
+  }  // destructor flushes the remainder
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    FUZZ_ASSERT(fps[i].bytes == ref1[i]);
+  }
+  return 0;
+}

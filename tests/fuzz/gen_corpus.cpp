@@ -239,6 +239,60 @@ void gen_chunker(const fs::path& dir) {
   }
 }
 
+void gen_sha_mb(const fs::path& dir) {
+  // Harness input: [capacity u8][(len_hi len_lo) msg bytes...]*.
+  auto push_len = [](Bytes& b, std::size_t len) {
+    b.push_back(static_cast<std::uint8_t>(len >> 8));
+    b.push_back(static_cast<std::uint8_t>(len & 0xff));
+  };
+  {
+    // Padding-edge lengths around the 55/56 one-vs-two tail-block split and
+    // exact block multiples, content from a fixed RNG.
+    Bytes seed = {8};
+    SplitMix64 rng(0x5a5a);
+    for (const std::size_t len : {0u, 1u, 55u, 56u, 57u, 63u, 64u, 65u,
+                                  119u, 120u, 127u, 128u, 129u}) {
+      push_len(seed, len);
+      for (std::size_t i = 0; i < len; ++i) {
+        seed.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+    }
+    write_seed(dir, "padding_edges.bin", seed);
+  }
+  {
+    // More messages than lanes, uneven lengths: exercises group scheduling
+    // and the zero-block churn for early-finishing lanes.
+    Bytes seed = {4};
+    SplitMix64 rng(0xbeef);
+    for (std::size_t m = 0; m < 13; ++m) {
+      const std::size_t len = (m * 97) % 600;
+      push_len(seed, len);
+      for (std::size_t i = 0; i < len; ++i) {
+        seed.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+    }
+    write_seed(dir, "uneven_13.bin", seed);
+  }
+  {
+    Bytes seed = {0};  // capacity 1: every add flushes
+    push_len(seed, 40);
+    for (int i = 0; i < 40; ++i) seed.push_back(0xff);
+    push_len(seed, 0);
+    write_seed(dir, "capacity_one.bin", seed);
+  }
+  {
+    // One long message next to empties: max blocks vs min in one group.
+    Bytes seed = {16};
+    push_len(seed, 0);
+    push_len(seed, 2000);
+    for (int i = 0; i < 2000; ++i) {
+      seed.push_back(static_cast<std::uint8_t>(i));
+    }
+    push_len(seed, 0);
+    write_seed(dir, "long_and_empty.bin", seed);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +307,7 @@ int main(int argc, char** argv) {
   gen_persist(out / "fuzz_persist");
   gen_metrics_json(out / "fuzz_metrics_json");
   gen_chunker(out / "fuzz_chunker");
+  gen_sha_mb(out / "fuzz_sha_mb");
   std::fprintf(stderr, "seed corpora written under %s\n", out.c_str());
   return 0;
 }

@@ -46,7 +46,7 @@ SRC_EXTS = {".cpp", ".h"}
 DEFAULT_DAG = {
     "common": set(),
     "obs": {"common"},
-    "chunking": {"common"},
+    "chunking": {"common", "obs"},
     "compress": {"common"},
     "storage": {"common", "obs", "compress"},
     "index": {"common", "obs", "chunking", "storage"},
