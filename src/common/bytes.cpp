@@ -1,7 +1,5 @@
 #include "common/bytes.h"
 
-#include <stdexcept>
-
 namespace defrag {
 
 namespace {
@@ -11,7 +9,7 @@ int hex_value(char c) {
   if (c >= '0' && c <= '9') return c - '0';
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
   if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  throw std::invalid_argument("from_hex: invalid hex character");
+  throw InputError("from_hex: invalid hex character");
 }
 }  // namespace
 
@@ -27,7 +25,7 @@ std::string to_hex(ByteView data) {
 
 Bytes from_hex(const std::string& hex) {
   if (hex.size() % 2 != 0) {
-    throw std::invalid_argument("from_hex: odd-length input");
+    throw InputError("from_hex: odd-length input");
   }
   Bytes out;
   out.reserve(hex.size() / 2);

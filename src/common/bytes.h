@@ -4,10 +4,20 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace defrag {
+
+/// Malformed caller-supplied data (e.g. a non-hex character handed to
+/// from_hex). Part of the declared error taxonomy (common/error_policy.h);
+/// derives std::invalid_argument so call sites may catch either the
+/// taxonomy type or the standard base.
+class InputError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Owning byte buffer. All data moving through the dedup pipeline uses this.
 using Bytes = std::vector<std::uint8_t>;
@@ -21,8 +31,8 @@ using MutableByteView = std::span<std::uint8_t>;
 /// Hex-encode a byte range (lowercase, no separators).
 std::string to_hex(ByteView data);
 
-/// Parse a lowercase/uppercase hex string. Throws std::invalid_argument on
-/// odd length or non-hex characters.
+/// Parse a lowercase/uppercase hex string. Throws InputError on odd length
+/// or non-hex characters.
 Bytes from_hex(const std::string& hex);
 
 /// View a std::string's bytes without copying.

@@ -1,0 +1,195 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/sync.h"
+
+namespace defrag::failpoint {
+namespace {
+
+struct Spec {
+  Action action = Action::kOff;
+  int count = 0;
+};
+
+// Registry state. Sites are function-local statics (never destroyed), so
+// raw pointers here are valid for the process lifetime. Guarded by a mutex
+// at the innermost rank: registration/arming may happen while the calling
+// thread holds any data-plane lock.
+struct Registry {
+  Mutex mu{lock_order::kFailpointRegistry};
+  std::map<std::string, Site*> sites DEFRAG_GUARDED_BY(mu);
+  std::map<std::string, Spec> pending DEFRAG_GUARDED_BY(mu);
+  bool env_parsed DEFRAG_GUARDED_BY(mu) = false;
+};
+
+Registry& registry() {
+  // Deliberately leaked: Site registration can run during static init of
+  // any TU and from any thread at exit; a leaked registry can never be
+  // destroyed out from under a late Site.
+  // defrag-lint: allow=raw-new — intentional leak, see above
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void apply(Site& site, const Spec& spec) { site.apply_spec(spec.action, spec.count); }
+
+bool parse_spec_locked(Registry& r, const std::string& spec)
+    DEFRAG_REQUIRES(r.mu) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos || c1 == 0) return false;
+    std::string name = entry.substr(0, c1);
+    std::size_t c2 = entry.find(':', c1 + 1);
+    std::string action_str = entry.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+
+    Spec s;
+    if (action_str == "throw") {
+      s.action = Action::kThrow;
+    } else if (action_str == "check") {
+      s.action = Action::kCheck;
+    } else if (action_str == "off") {
+      s.action = Action::kOff;
+    } else {
+      return false;
+    }
+    s.count = 1;
+    if (c2 != std::string::npos) {
+      // Hand-parsed (not stoi) so a malformed count is a clean `false`,
+      // not an exception from inside the arming path.
+      const std::string count_str = entry.substr(c2 + 1);
+      std::size_t i = 0;
+      bool negative = false;
+      if (i < count_str.size() && count_str[i] == '-') {
+        negative = true;
+        ++i;
+      }
+      if (i >= count_str.size()) return false;
+      long parsed = 0;
+      for (; i < count_str.size(); ++i) {
+        if (count_str[i] < '0' || count_str[i] > '9') return false;
+        parsed = parsed * 10 + (count_str[i] - '0');
+        if (parsed > 1000000) return false;  // sane bound; rejects overflow
+      }
+      if (negative && parsed != 1) return false;  // only -1 (unlimited)
+      s.count = negative ? -1 : static_cast<int>(parsed);
+    }
+
+    auto it = r.sites.find(name);
+    if (it != r.sites.end()) {
+      apply(*it->second, s);
+    } else {
+      r.pending[name] = s;
+    }
+  }
+  return true;
+}
+
+void parse_env_once_locked(Registry& r) DEFRAG_REQUIRES(r.mu) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  const char* env = std::getenv("DEFRAG_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  // Malformed env specs fail fatally: silently ignoring one would turn a
+  // CI fault-injection pass into a no-op that still reports green.
+  DEFRAG_CHECK_MSG(parse_spec_locked(r, env),
+                   std::string("malformed DEFRAG_FAILPOINTS: ") + env);
+}
+
+}  // namespace
+
+Site::Site(const char* name) : name_(name) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  parse_env_once_locked(r);
+  r.sites[name_] = this;
+  auto it = r.pending.find(name_);
+  if (it != r.pending.end()) {
+    apply(*this, it->second);
+    r.pending.erase(it);
+  }
+}
+
+void Site::fail_slow() {
+  // Snapshot the action first: the pass that drains the last budget unit
+  // below disarms the site, and must still fire with the snapshotted action.
+  const Action action = action_.load(std::memory_order_acquire);
+  if (action == Action::kOff) return;  // disarmed between check and here
+  // Consume one unit of budget; only the passes that win a unit fire, so
+  // count=N armings fire exactly N times under concurrency.
+  std::int64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    do {
+      if (budget <= 0) return;
+    } while (!budget_.compare_exchange_weak(budget, budget - 1,
+                                            std::memory_order_relaxed));
+    if (budget == 1) action_.store(Action::kOff, std::memory_order_relaxed);
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (action == Action::kCheck) {
+    check_failed("failpoint", name_, 0, "injected invariant failure");
+  }
+  throw FailpointError(std::string("failpoint: ") + name_);
+}
+
+void arm(const std::string& name, Action action, int count) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  Spec s{action, count};
+  auto it = r.sites.find(name);
+  if (it != r.sites.end()) {
+    apply(*it->second, s);
+  } else {
+    r.pending[name] = s;
+  }
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(name);
+  if (it != r.sites.end()) it->second->apply_spec(Action::kOff, 0);
+  r.pending.erase(name);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  for (auto& [name, site] : r.sites) site->apply_spec(Action::kOff, 0);
+  r.pending.clear();
+}
+
+std::vector<std::string> registered() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::uint64_t hit_count(const std::string& name) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(name);
+  return it == r.sites.end() ? 0 : it->second->hit_count();
+}
+
+bool arm_from_spec(const std::string& spec) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  return parse_spec_locked(r, spec);
+}
+
+}  // namespace defrag::failpoint

@@ -28,6 +28,9 @@
 //                         line may be emitted from under any lock above
 //   thread_pool     (50)  ThreadPool::mu_ — task queue (leaf: submit() may
 //                         be reached from under any data-plane lock)
+//   failpoint_registry(60) failpoint registry mu — name->site map; a
+//                         failpoint may fire from under any lock above,
+//                         and arming/listing takes only this lock
 //
 // The validator is the dynamic half of the discipline: the static half
 // (tools/lock_graph_lint.py, ctest `lock_graph_lint`) proves the declared
@@ -67,6 +70,7 @@ inline constexpr Rank kMetricsRegistry{"metrics_registry", 30};
 inline constexpr Rank kTraceRecorder{"trace_recorder", 40};
 inline constexpr Rank kLogSink{"log_sink", 45};
 inline constexpr Rank kThreadPool{"thread_pool", 50};
+inline constexpr Rank kFailpointRegistry{"failpoint_registry", 60};
 
 /// Whether the validator is checking acquisitions on this process.
 bool enabled();

@@ -276,7 +276,7 @@ FingerprintBatch::FingerprintBatch(std::size_t capacity)
   outs_.reserve(capacity_);
 }
 
-FingerprintBatch::~FingerprintBatch() { flush(); }
+FingerprintBatch::~FingerprintBatch() noexcept { flush(); }
 
 void FingerprintBatch::add(ByteView data, Fingerprint* out) {
   views_.push_back(data);

@@ -62,7 +62,7 @@ class FingerprintBatch {
   static constexpr std::size_t kDefaultCapacity = 64;
 
   explicit FingerprintBatch(std::size_t capacity = kDefaultCapacity);
-  ~FingerprintBatch();
+  ~FingerprintBatch() noexcept;
   FingerprintBatch(const FingerprintBatch&) = delete;
   FingerprintBatch& operator=(const FingerprintBatch&) = delete;
 

@@ -117,7 +117,7 @@ class DEFRAG_CAPABILITY("mutex") Mutex {
 class DEFRAG_SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex& mu) DEFRAG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() DEFRAG_RELEASE() { mu_.unlock(); }
+  ~MutexLock() noexcept DEFRAG_RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;

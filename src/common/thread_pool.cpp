@@ -11,11 +11,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   DEFRAG_CHECK(threads >= 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
+    // throw-graph: boundary=ThreadPool::worker_loop
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() noexcept {
   {
     MutexLock lock(mu_);
     stopping_ = true;
@@ -81,8 +82,8 @@ void ThreadPool::parallel_for(std::size_t n,
       ++failures;
       if (!messages.empty()) messages += "; ";
       messages += e.what();
-    } catch (...) {  // defrag-lint: allow=catch-all — rethrown aggregated
-                     // as ParallelForError below, never swallowed
+    } catch (...) {  // throw-graph: boundary=ThreadPool::parallel_for —
+                     // rethrown aggregated as ParallelForError, not swallowed
       ++failures;
       if (!messages.empty()) messages += "; ";
       messages += "<non-standard exception>";

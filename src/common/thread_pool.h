@@ -48,7 +48,7 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads);
 
   /// Drains outstanding work, then joins all workers.
-  ~ThreadPool();
+  ~ThreadPool() noexcept;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -66,7 +66,7 @@ class ThreadPool {
         [this, fn = std::forward<F>(fn)]() mutable -> R {
           struct Done {
             ThreadPool* pool;
-            ~Done() {
+            ~Done() noexcept {
               MutexLock lock(pool->mu_);
               ++pool->stats_.completed;
             }

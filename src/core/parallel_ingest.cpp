@@ -39,7 +39,7 @@ class ClaimGuard {
  public:
   ClaimGuard(ShardedPagedIndex& index, const Fingerprint& fp)
       : index_(index), fp_(fp) {}
-  ~ClaimGuard() {
+  ~ClaimGuard() noexcept {
     if (armed_) index_.abandon_claim(fp_);
   }
   ClaimGuard(const ClaimGuard&) = delete;

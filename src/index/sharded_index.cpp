@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/fingerprint.h"
 #include "index/paged_index.h"
 #include "storage/disk_model.h"
@@ -52,6 +53,7 @@ ShardedPagedIndex::Shard& ShardedPagedIndex::shard_of(
 
 std::optional<IndexValue> ShardedPagedIndex::lookup(const Fingerprint& fp,
                                                     DiskSim& sim) {
+  DEFRAG_FAILPOINT("index.lookup");
   Shard& s = shard_of(fp);
   MutexLock lock(s.mu);
   return s.index.lookup(fp, sim);
@@ -65,6 +67,7 @@ std::optional<IndexValue> ShardedPagedIndex::peek(const Fingerprint& fp) const {
 
 void ShardedPagedIndex::insert(const Fingerprint& fp, const IndexValue& value,
                                DiskSim& sim) {
+  DEFRAG_FAILPOINT("index.insert");
   Shard& s = shard_of(fp);
   MutexLock lock(s.mu);
   s.index.insert(fp, value, sim);
@@ -79,6 +82,7 @@ void ShardedPagedIndex::update(const Fingerprint& fp, const IndexValue& value,
 
 ShardedPagedIndex::ClaimResult ShardedPagedIndex::lookup_or_claim(
     const Fingerprint& fp, DiskSim& sim) {
+  DEFRAG_FAILPOINT("index.claim");
   Shard& s = shard_of(fp);
   MutexLock lock(s.mu);
   if (const std::optional<IndexValue> hit = s.index.lookup(fp, sim)) {
@@ -93,6 +97,9 @@ ShardedPagedIndex::ClaimResult ShardedPagedIndex::lookup_or_claim(
 
 void ShardedPagedIndex::publish(const Fingerprint& fp, const IndexValue& value,
                                 DiskSim& sim) {
+  // Fires before the claim is consumed: an injected fault here unwinds into
+  // ClaimGuard, whose abandon_claim() still finds the claim intact.
+  DEFRAG_FAILPOINT("index.publish");
   Shard& s = shard_of(fp);
   MutexLock lock(s.mu);
   DEFRAG_CHECK_MSG(s.claims.erase(fp) == 1,

@@ -13,7 +13,7 @@ RequestScope::RequestScope(std::uint64_t rid) noexcept : prev_(t_current_rid) {
   t_current_rid = rid;
 }
 
-RequestScope::~RequestScope() { t_current_rid = prev_; }
+RequestScope::~RequestScope() noexcept { t_current_rid = prev_; }
 
 std::uint64_t RequestScope::current_rid() noexcept { return t_current_rid; }
 

@@ -23,7 +23,7 @@ namespace defrag::obs {
 class RequestScope {
  public:
   explicit RequestScope(std::uint64_t rid) noexcept;
-  ~RequestScope();
+  ~RequestScope() noexcept;
   RequestScope(const RequestScope&) = delete;
   RequestScope& operator=(const RequestScope&) = delete;
 

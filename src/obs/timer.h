@@ -37,7 +37,7 @@ class ScopedTimer {
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
-  ~ScopedTimer() { stop(); }
+  ~ScopedTimer() noexcept { stop(); }
 
   /// Record now; further calls are no-ops. Returns elapsed seconds.
   double stop() {

@@ -95,7 +95,7 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
-  ~TraceSpan() { finish(); }
+  ~TraceSpan() noexcept { finish(); }
 
   /// End the span early (idempotent).
   void finish() {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "common/fingerprint.h"
 #include "service/wire.h"
 #include "storage/catalog.h"
@@ -27,6 +28,7 @@ void expect_header(WireReader& r, std::uint32_t magic, const char* what) {
 }  // namespace
 
 Bytes encode_recipe(const Recipe& recipe) {
+  DEFRAG_FAILPOINT("persist.encode_recipe");
   if (recipe.entries().size() > std::numeric_limits<std::uint32_t>::max()) {
     throw WireError("recipe entry count exceeds wire limit");
   }
@@ -48,6 +50,7 @@ Bytes encode_recipe(const Recipe& recipe) {
 }
 
 Recipe decode_recipe(ByteView data) {
+  DEFRAG_FAILPOINT("persist.decode_recipe");
   WireReader r(data);
   expect_header(r, kRecipeMagic, "recipe");
   Recipe recipe(r.str());
@@ -72,6 +75,7 @@ Recipe decode_recipe(ByteView data) {
 }
 
 Bytes encode_catalog(const GenerationCatalog& catalog) {
+  DEFRAG_FAILPOINT("persist.encode_catalog");
   if (catalog.entries().size() > std::numeric_limits<std::uint32_t>::max()) {
     throw WireError("catalog entry count exceeds wire limit");
   }
@@ -89,6 +93,7 @@ Bytes encode_catalog(const GenerationCatalog& catalog) {
 }
 
 GenerationCatalog decode_catalog(ByteView data) {
+  DEFRAG_FAILPOINT("persist.decode_catalog");
   WireReader r(data);
   expect_header(r, kCatalogMagic, "catalog");
   const std::uint32_t count = r.u32();

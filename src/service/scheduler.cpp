@@ -17,7 +17,7 @@
 
 namespace defrag::service {
 
-SessionScheduler::~SessionScheduler() { drain(); }
+SessionScheduler::~SessionScheduler() noexcept { drain(); }
 
 std::string SessionScheduler::reason(Admission a) {
   switch (a) {
@@ -52,6 +52,7 @@ bool SessionScheduler::launch(int fd, std::function<void(int)> body) {
   // The body runs as soon as the thread spawns, but finish_session() needs
   // mu_ — which this call still holds — so the handle is always stored in
   // conns_ before the body can extract it.
+  // throw-graph: boundary=Session::run
   conn.thread = std::thread([this, id, fd, fn = std::move(body)] {
     fn(fd);
     finish_session(id);

@@ -50,7 +50,7 @@ class SessionScheduler {
   SessionScheduler(const SessionScheduler&) = delete;
   SessionScheduler& operator=(const SessionScheduler&) = delete;
   /// drain() must have run (checked): threads may not outlive the scheduler.
-  ~SessionScheduler();
+  ~SessionScheduler() noexcept;
 
   /// Human-readable REJECTED reason for a refused admission.
   static std::string reason(Admission a);

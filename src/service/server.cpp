@@ -33,6 +33,7 @@ Server::Server(const ServerConfig& config)
   reg.counter("service.bytes_restored");
   reg.counter("service.wire_errors");
   reg.counter("service.requests_slow");
+  reg.counter("service.session_internal_errors");
   reg.gauge("service.active_sessions").set(0.0);
   // Per-request latency histograms, one per timed protocol op. Sessions
   // observe into these by runtime-built name; registering them here keeps
@@ -48,7 +49,7 @@ Server::Server(const ServerConfig& config)
   reg.histogram("service.request.shutdown_us");
 }
 
-Server::~Server() {
+Server::~Server() noexcept {
   scheduler_.drain();
   if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
   if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);

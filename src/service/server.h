@@ -45,7 +45,7 @@ class Server {
   explicit Server(const ServerConfig& config);
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
-  ~Server();
+  ~Server() noexcept;
 
   /// Accept-and-serve until request_stop(); drains before returning.
   void run();

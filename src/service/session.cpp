@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/check.h"
 #include "core/parallel_ingest.h"
 #include "dedup/engine.h"
 #include "dedup/restore_strategies.h"
@@ -68,6 +69,17 @@ void Session::run() {
   } catch (const SocketError&) {
     // Peer vanished mid-write; admission/metrics cleanup below still runs.
     DEFRAG_LOG_WARN("session.socket_error", {"tenant", tenant_});
+  } catch (const CheckFailure& e) {
+    // Invariant failure inside this session's work. Escaping this thread
+    // would be std::terminate for every tenant, so the boundary converts
+    // it to one dead session: log it loudly (rid is on the log scope),
+    // count it, and tell the peer if the socket still writes. Ordered
+    // before std::exception (CheckFailure derives std::logic_error).
+    report_internal_error("session.check_failure", e.what());
+  } catch (const std::exception& e) {
+    // Any other taxonomy type reaching the boundary (FailpointError, a
+    // storage-layer escape) — same containment: session dies, daemon lives.
+    report_internal_error("session.internal_error", e.what());
   }
   if (admitted_) {
     flush_metrics();
@@ -77,6 +89,19 @@ void Session::run() {
     DEFRAG_LOG_INFO("session.end", {"tenant", tenant_});
   }
   conn_.close();
+}
+
+void Session::report_internal_error(const char* event, const char* what) {
+  obs::MetricsRegistry::global().counter("service.session_internal_errors")
+      .add(1);
+  DEFRAG_LOG_ERROR(event, {"tenant", tenant_}, {"reason", what});
+  try {
+    send(encode_error("internal server error"));
+  } catch (const SocketError&) {
+    // Peer already gone; the log line and counter are the record.
+  } catch (const WireError&) {
+    // Frame unencodable; just close.
+  }
 }
 
 bool Session::handle_unadmitted(ByteView payload) {

@@ -80,9 +80,14 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Run the protocol loop to completion. Never throws: peer-caused
-  /// failures (WireError/SocketError) close the connection; admission
-  /// state and metrics are always released/flushed on the way out.
+  /// Run the protocol loop to completion. Never throws — this is the
+  /// session thread's declared catch boundary (error_policy.h
+  /// "Session::run"): peer-caused failures (WireError/SocketError) close
+  /// the connection; internal failures (CheckFailure, any std::exception)
+  /// are logged with the rid, counted in service.session_internal_errors,
+  /// answered with ERROR when the socket still writes, and end only this
+  /// session. Admission state and metrics are always released/flushed on
+  /// the way out.
   void run();
 
  private:
@@ -106,6 +111,9 @@ class Session {
   void send(const Bytes& payload) { conn_.send_frame(payload); }
   /// Fold the session-local registry into the global one and clear it.
   void flush_metrics();
+  /// Boundary bookkeeping for an internal error: count, log at ERROR with
+  /// the rid, best-effort ERROR response.
+  void report_internal_error(const char* event, const char* what);
 
   Conn conn_;
   SessionEnv env_;

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "service/wire.h"
 
 namespace defrag::service {
@@ -36,7 +37,7 @@ Conn& Conn::operator=(Conn&& other) noexcept {
   return *this;
 }
 
-Conn::~Conn() { close(); }
+Conn::~Conn() noexcept { close(); }
 
 void Conn::close() {
   if (fd_ >= 0) {
@@ -78,6 +79,9 @@ bool Conn::read_all(void* data, std::size_t len, bool eof_ok) {
 }
 
 void Conn::send_frame(ByteView payload) {
+  // Before the header write: an injected fault must never leave a partial
+  // frame on the wire (the peer would misparse the next frame's header).
+  DEFRAG_FAILPOINT("service.send_frame");
   if (payload.empty() || payload.size() > kMaxFramePayload) {
     throw WireError("frame payload size out of range");
   }
@@ -91,6 +95,7 @@ void Conn::send_frame(ByteView payload) {
 }
 
 std::optional<Bytes> Conn::recv_frame() {
+  DEFRAG_FAILPOINT("service.recv_frame");
   std::uint8_t header[4];
   if (!read_all(header, sizeof header, /*eof_ok=*/true)) return std::nullopt;
   std::uint32_t len = 0;
@@ -153,7 +158,7 @@ Listener::Listener(const std::string& path) : path_(path) {
   }
 }
 
-Listener::~Listener() {
+Listener::~Listener() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
     ::unlink(path_.c_str());

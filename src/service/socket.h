@@ -38,7 +38,7 @@ class Conn {
   Conn& operator=(Conn&& other) noexcept;
   Conn(const Conn&) = delete;
   Conn& operator=(const Conn&) = delete;
-  ~Conn();
+  ~Conn() noexcept;
 
   /// Frame and send one payload. Throws SocketError when the peer is gone,
   /// WireError when the payload exceeds kMaxFramePayload.
@@ -72,7 +72,7 @@ class Listener {
   explicit Listener(const std::string& path);
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
-  ~Listener();
+  ~Listener() noexcept;
 
   /// Block until a connection arrives or `stop_fd` becomes readable.
   /// Returns the accepted fd, or -1 when stopped. Throws SocketError on

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -72,6 +73,7 @@ ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
                                      SegmentId segment, DiskSim& sim) {
   DEFRAG_CHECK_MSG(data.size() <= capacity_,
                    "chunk larger than container capacity");
+  DEFRAG_FAILPOINT("store.serial_append");
   MutexLock lock(mu_);
   DEFRAG_CHECK_MSG(!stream_mode_,
                    "serial append() on a store with open_stream() appenders");
@@ -91,6 +93,7 @@ ChunkLocation ContainerStore::append(const Fingerprint& fp, ByteView data,
 }
 
 void ContainerStore::flush() {
+  DEFRAG_FAILPOINT("store.serial_seal");
   MutexLock lock(mu_);
   DEFRAG_CHECK_MSG(!stream_mode_,
                    "serial flush() on a store with open_stream() appenders");
@@ -166,7 +169,7 @@ ContainerStore::StreamAppender::StreamAppender(StreamAppender&& other) noexcept
     : store_(std::exchange(other.store_, nullptr)),
       open_(std::exchange(other.open_, nullptr)) {}
 
-ContainerStore::StreamAppender::~StreamAppender() { close(); }
+ContainerStore::StreamAppender::~StreamAppender() noexcept { finish(); }
 
 ChunkLocation ContainerStore::StreamAppender::append(const Fingerprint& fp,
                                                      ByteView data,
@@ -175,6 +178,7 @@ ChunkLocation ContainerStore::StreamAppender::append(const Fingerprint& fp,
   DEFRAG_CHECK_MSG(store_ != nullptr, "append on a closed StreamAppender");
   DEFRAG_CHECK_MSG(data.size() <= store_->capacity_,
                    "chunk larger than container capacity");
+  DEFRAG_FAILPOINT("store.stream_append");
   // The open container is exclusively ours until sealed, so appends run
   // lock-free; only rolling to a fresh container touches the store.
   if (open_ != nullptr && !open_->fits(static_cast<std::uint32_t>(data.size()))) {
@@ -191,6 +195,16 @@ ChunkLocation ContainerStore::StreamAppender::append(const Fingerprint& fp,
 }
 
 void ContainerStore::StreamAppender::close() {
+  // The failpoint fires only on the explicit close() path — before any
+  // mutation, so an injected fault leaves the appender open and retryable.
+  // The destructor seals via finish() directly (noexcept cleanup must not
+  // inject throws).
+  if (store_ == nullptr) return;
+  DEFRAG_FAILPOINT("store.stream_seal");
+  finish();
+}
+
+void ContainerStore::StreamAppender::finish() noexcept {
   if (store_ == nullptr) return;
   if (open_ != nullptr) {
     open_->seal(store_->compress_on_seal_);
@@ -211,6 +225,7 @@ const Container& ContainerStore::container_at(ContainerId id) const {
 }
 
 const Container& ContainerStore::load(ContainerId id, DiskSim& sim) const {
+  DEFRAG_FAILPOINT("store.load");
   const Container& c = container_at(id);
   sim.seek();
   sim.read(c.stored_bytes() + c.metadata_bytes());

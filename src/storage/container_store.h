@@ -74,21 +74,26 @@ class ContainerStore {
     StreamAppender& operator=(StreamAppender&&) = delete;
     StreamAppender(const StreamAppender&) = delete;
     StreamAppender& operator=(const StreamAppender&) = delete;
-    ~StreamAppender();
+    ~StreamAppender() noexcept;
 
     /// Append a chunk to this stream's open container, rolling to a fresh
     /// one as needed. Charges the sequential write to `sim`.
     ChunkLocation append(const Fingerprint& fp, ByteView data,
                          SegmentId segment, DiskSim& sim);
 
-    /// Seal the open container and release the appender slot. Idempotent;
-    /// called by the destructor. After close() the stream's containers are
-    /// safely readable by threads that synchronize with the closer.
+    /// Seal the open container and release the appender slot. Idempotent.
+    /// After close() the stream's containers are safely readable by threads
+    /// that synchronize with the closer. Carries the "store.stream_seal"
+    /// failpoint (before any mutation), so explicit closes are injectable;
+    /// the destructor seals through the noexcept finish() path instead.
     void close();
 
    private:
     friend class ContainerStore;
     explicit StreamAppender(ContainerStore* store) : store_(store) {}
+
+    /// Seal + release without fault injection (dtor-safe cleanup half).
+    void finish() noexcept;
 
     ContainerStore* store_ = nullptr;
     Container* open_ = nullptr;  // exclusively owned until sealed

@@ -1,0 +1,145 @@
+// Unit tests for the failpoint substrate itself: arming semantics (one-shot
+// by default, counted, unlimited), the pending-spec path (arm before the
+// site first executes), both fault actions, spec-string parsing, and the
+// registry introspection the lint and tests build on. Scratch sites here
+// use the reserved "test." name prefix — they live in this binary, not in
+// src/, and tools/throw_graph_lint.py exempts them from the stale-name rule.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace defrag::failpoint {
+namespace {
+
+void pass_alpha() { DEFRAG_FAILPOINT("test.alpha"); }
+void pass_gamma() { DEFRAG_FAILPOINT("test.gamma"); }
+// Used exactly once, by ArmBeforeRegistrationIsPending: its site must not
+// have registered before that test arms it.
+void pass_pending() { DEFRAG_FAILPOINT("test.pending"); }
+// Used exactly once, by DisarmDropsPendingSpec.
+void pass_dropped() { DEFRAG_FAILPOINT("test.dropped"); }
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsAPassthrough) {
+  const std::uint64_t before = hit_count("test.alpha");
+  EXPECT_NO_THROW(pass_alpha());
+  EXPECT_NO_THROW(pass_alpha());
+  EXPECT_EQ(hit_count("test.alpha"), before);
+}
+
+TEST_F(FailpointTest, ArmIsOneShotByDefault) {
+  const std::uint64_t before = hit_count("test.alpha");
+  arm("test.alpha", Action::kThrow);
+  EXPECT_THROW(pass_alpha(), FailpointError);
+  // The site disarmed itself after its single fire.
+  EXPECT_NO_THROW(pass_alpha());
+  EXPECT_EQ(hit_count("test.alpha"), before + 1);
+}
+
+TEST_F(FailpointTest, ErrorMessageNamesTheSite) {
+  arm("test.alpha", Action::kThrow);
+  try {
+    pass_alpha();
+    FAIL() << "armed failpoint did not fire";
+  } catch (const FailpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("test.alpha"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, CountedArmFiresExactlyCountTimes) {
+  const std::uint64_t before = hit_count("test.alpha");
+  arm("test.alpha", Action::kThrow, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(pass_alpha(), FailpointError);
+  EXPECT_NO_THROW(pass_alpha());
+  EXPECT_EQ(hit_count("test.alpha"), before + 3);
+}
+
+TEST_F(FailpointTest, UnlimitedArmFiresUntilDisarmed) {
+  arm("test.alpha", Action::kThrow, /*count=*/-1);
+  for (int i = 0; i < 5; ++i) EXPECT_THROW(pass_alpha(), FailpointError);
+  disarm("test.alpha");
+  EXPECT_NO_THROW(pass_alpha());
+}
+
+TEST_F(FailpointTest, CheckActionRaisesCheckFailure) {
+  arm("test.alpha", Action::kCheck);
+  EXPECT_THROW(pass_alpha(), CheckFailure);
+  EXPECT_NO_THROW(pass_alpha());
+}
+
+TEST_F(FailpointTest, ArmBeforeRegistrationIsPending) {
+  // The "test.pending" site has never executed, so it is not registered
+  // yet; the spec must be held pending and applied at registration.
+  arm("test.pending", Action::kThrow);
+  EXPECT_THROW(pass_pending(), FailpointError);
+  EXPECT_NO_THROW(pass_pending());
+}
+
+TEST_F(FailpointTest, DisarmDropsPendingSpec) {
+  arm("test.dropped", Action::kThrow);
+  disarm("test.dropped");
+  EXPECT_NO_THROW(pass_dropped());
+}
+
+TEST_F(FailpointTest, SpecStringArmsWithCount) {
+  EXPECT_TRUE(arm_from_spec("test.alpha:throw:2"));
+  EXPECT_THROW(pass_alpha(), FailpointError);
+  EXPECT_THROW(pass_alpha(), FailpointError);
+  EXPECT_NO_THROW(pass_alpha());
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultipleEntries) {
+  EXPECT_TRUE(arm_from_spec("test.alpha:throw,test.gamma:check"));
+  EXPECT_THROW(pass_alpha(), FailpointError);
+  EXPECT_THROW(pass_gamma(), CheckFailure);
+}
+
+TEST_F(FailpointTest, SpecStringOffDisarms) {
+  arm("test.alpha", Action::kThrow);
+  EXPECT_TRUE(arm_from_spec("test.alpha:off:0"));
+  EXPECT_NO_THROW(pass_alpha());
+}
+
+TEST_F(FailpointTest, MalformedSpecStringsAreRejected) {
+  EXPECT_FALSE(arm_from_spec("noaction"));
+  EXPECT_FALSE(arm_from_spec(":throw"));
+  EXPECT_FALSE(arm_from_spec("test.alpha:bogus"));
+  EXPECT_FALSE(arm_from_spec("test.alpha:throw:abc"));
+  EXPECT_FALSE(arm_from_spec("test.alpha:throw:"));
+  EXPECT_FALSE(arm_from_spec("test.alpha:throw:-2"));  // only -1 is special
+  EXPECT_FALSE(arm_from_spec("test.alpha:throw:9999999"));  // overflow guard
+  // Rejection mid-spec arms nothing further; already-applied entries keep
+  // their spec (documented: parsing stops at the first malformed entry).
+  disarm_all();
+  EXPECT_FALSE(arm_from_spec("test.alpha:throw,junk"));
+  EXPECT_THROW(pass_alpha(), FailpointError);
+}
+
+TEST_F(FailpointTest, RegisteredListsExecutedSites) {
+  pass_alpha();  // ensure both sites have registered (disarmed passes)
+  pass_gamma();
+  const std::vector<std::string> names = registered();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.alpha"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.gamma"), names.end());
+}
+
+TEST_F(FailpointTest, DisarmAllClearsArmedAndPending) {
+  arm("test.alpha", Action::kThrow);
+  arm("test.never_registered", Action::kThrow);  // pending entry
+  disarm_all();
+  EXPECT_NO_THROW(pass_alpha());
+}
+
+}  // namespace
+}  // namespace defrag::failpoint

@@ -154,6 +154,13 @@ CHECK_NAMES = ("metric-docs", "header-pragma", "header-iwyu", "raw-new",
 
 WAIVER_RE = re.compile(r"defrag-lint:\s*allow=([a-z-]+)")
 
+# The throw-graph lint's companion comments (tools/throw_graph_lint.py):
+# waivers and declared-boundary annotations. defrag_lint validates their
+# names so a typo'd comment cannot silently waive nothing.
+THROW_WAIVER_RE = re.compile(r"throw-graph:\s*allow=([a-z-]+)")
+BOUNDARY_DECL_RE = re.compile(
+    r'inline\s+constexpr\s+CatchBoundary\s+k\w+\s*\{\s*"([\w:]+)"')
+
 
 class Linter:
     def __init__(self, repo=REPO):
@@ -162,6 +169,16 @@ class Linter:
         # (resolved path, 1-based line) of waiver comments that suppressed
         # at least one finding this run; everything else is stale.
         self.used_waivers = set()
+
+    def declared_boundaries(self):
+        """Catch-boundary names from src/common/error_policy.h (cached)."""
+        if not hasattr(self, "_boundaries"):
+            policy = self.repo / "src" / "common" / "error_policy.h"
+            self._boundaries = (
+                set(BOUNDARY_DECL_RE.findall(
+                    policy.read_text(encoding="utf-8")))
+                if policy.is_file() else set())
+        return self._boundaries
 
     def report(self, check, path, lineno, message, lines=None):
         """Record a finding unless waived on this or the previous line."""
@@ -309,8 +326,23 @@ class Linter:
                                     "rid-correlated) instead", lines)
                 m = catch_all_re.search(ln)
                 if m:
-                    # The handler must rethrow: look for `throw;` within the
-                    # next few lines (brace-matching is overkill for a lint).
+                    # A declared catch boundary (annotated with
+                    # `throw-graph: boundary=<Name>`, validated against
+                    # src/common/error_policy.h) may keep a catch-all; the
+                    # throw-graph lint owns the deeper analysis. Otherwise
+                    # the handler must rethrow: look for `throw;` within
+                    # the next few lines (brace-matching is overkill here).
+                    raw_tail = "\n".join(lines[i - 1:i + 9])
+                    bm = re.search(r"throw-graph:\s*boundary=([\w:]+)",
+                                   raw_tail)
+                    if bm:
+                        if bm.group(1) not in self.declared_boundaries():
+                            self.report(
+                                "catch-all", path, i,
+                                f"catch (...) names boundary "
+                                f"'{bm.group(1)}' not declared in "
+                                "src/common/error_policy.h", lines)
+                        continue
                     tail = "\n".join(stripped.splitlines()[i - 1:i + 9])
                     if not re.search(r"\bthrow\s*;", tail):
                         self.report("catch-all", path, i,
@@ -529,6 +561,15 @@ class Linter:
         waivers are reported unwaivably: the fix is deleting the comment.
         """
         known = set(CHECK_NAMES) - {"stale-waiver"}
+        # The throw-graph lint's waiver comments share the hygiene pass:
+        # a typo'd `throw-graph: allow=` must fail here, not waive nothing.
+        # (Whether such a waiver is *used* is throw_graph_lint's own job —
+        # it tracks suppression in its full-tree scan.)
+        try:
+            import throw_graph_lint
+            tg_known = set(throw_graph_lint.CHECK_NAMES)
+        except ImportError:
+            tg_known = None
         scan = list(cpp_files(self.repo))
         scan += [p for p in sorted(self.repo.rglob("CMakeLists.txt"))
                  if "build" not in p.parts
@@ -536,6 +577,12 @@ class Linter:
         for path in scan:
             text = path.read_text(encoding="utf-8")
             for i, ln in enumerate(text.splitlines(), start=1):
+                tg = THROW_WAIVER_RE.search(ln)
+                if tg and tg_known is not None and tg.group(1) not in tg_known:
+                    self.findings.append(
+                        f"{path.relative_to(self.repo)}:{i}: [stale-waiver] "
+                        f"throw-graph waiver names unknown check "
+                        f"'{tg.group(1)}'")
                 m = WAIVER_RE.search(ln)
                 if not m:
                     continue

@@ -11,8 +11,10 @@
 # defrag-top snapshot) matching the observed load, admission-control
 # rejection of over-quota sessions, the metrics export carrying per-tenant
 # service scopes and per-request latency histograms, structured JSON-lines
-# logging, the drain-time --metrics-json/--trace-out exports, and graceful
-# shutdown via the SHUTDOWN request and via SIGTERM.
+# logging, the drain-time --metrics-json/--trace-out exports, graceful
+# shutdown via the SHUTDOWN request and via SIGTERM, and drain-under-fault:
+# a DEFRAG_FAILPOINTS-armed store-seal fault fails one backup with a typed
+# error while the daemon still drains to exit 0 with valid exports.
 set -eu
 
 SERVE=$1
@@ -138,5 +140,60 @@ wait "$SERVE_PID"
 SERVE_PID=""
 wait "$CLIENT_PID" || true  # client may see EOF if it lost the race
 rm -f "$SOCK"
+
+echo "== drain under fault: injected store-seal failure, daemon still exits 0"
+SOCK="/tmp/defrag-smoke-$$-c.sock"
+FAULT_METRICS="$SCRATCH/service_smoke_fault_metrics.json"
+FAULT_TRACE="$SCRATCH/service_smoke_fault_trace.json"
+DEFRAG_FAILPOINTS="store.stream_seal:throw" \
+    "$SERVE" run --socket "$SOCK" --max-sessions 4 --per-tenant 4 \
+    --metrics-json "$FAULT_METRICS" --trace-out "$FAULT_TRACE" &
+SERVE_PID=$!
+wait_for_socket
+# The one-shot env-armed failpoint fires on this backup's stream seal: the
+# session converts it to a typed ERROR, so the client must exit non-zero —
+# never hang, never take the daemon down.
+if "$CLIENT" backup --socket "$SOCK" --tenant fault-tenant \
+    --generations 1 --files 4; then
+    echo "service_smoke: injected backup unexpectedly succeeded" >&2
+    exit 1
+fi
+# The daemon survived the fault (the arming is spent): a second backup
+# rides through a SIGTERM drain and the exports are still written.
+"$CLIENT" backup --socket "$SOCK" --tenant drain-tenant \
+    --generations 1 --files 8 &
+CLIENT_PID=$!
+sleep 0.3
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"  # set -e: SIGTERM drain must still exit 0
+SERVE_PID=""
+wait "$CLIENT_PID" || true
+rm -f "$SOCK"
+python3 - "$FAULT_METRICS" "$FAULT_TRACE" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+json.load(open(sys.argv[2]))  # the trace export parses too
+
+def find(obj, key):
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            if k == key:
+                return v
+            r = find(v, key)
+            if r is not None:
+                return r
+    elif isinstance(obj, list):
+        for v in obj:
+            r = find(v, key)
+            if r is not None:
+                return r
+    return None
+
+value = find(metrics, "service.session_internal_errors")
+if isinstance(value, dict):
+    value = value.get("value", value.get("count"))
+assert value is not None and int(value) >= 1, \
+    f"session_internal_errors not recorded: {value!r}"
+EOF
 
 echo "service_smoke: OK"
